@@ -1,0 +1,112 @@
+// Ablation A1: serializer-tree architecture versus output jitter.
+//
+// Design question behind Fig 15: reaching 5 Gbps needs 16 DLC lanes; is it
+// better to use one deep tree stage or two shallow ones, and what does
+// each stage's skew cost? This sweep isolates the DJ contribution of the
+// mux tree from the Gaussian budget.
+#include "bench_common.hpp"
+#include "core/presets.hpp"
+#include "core/test_system.hpp"
+#include "pecl/mux.hpp"
+#include "util/rng.hpp"
+
+using namespace mgt;
+
+namespace {
+
+core::ChannelConfig with_tree(pecl::SerializerTree::Config tree) {
+  auto config = core::presets::minitester(GbitsPerSec{5.0});
+  config.serializer = std::move(tree);
+  return config;
+}
+
+void run_reproduction(ReportTable& table) {
+  // Architecture variants at a fixed 5 Gbps output rate.
+  struct Variant {
+    const char* name;
+    pecl::SerializerTree::Config tree;
+  };
+  std::vector<Variant> variants;
+
+  variants.push_back({"2:1 + 8:1 (paper, Fig 15)",
+                      pecl::SerializerTree::minitester_16to1()});
+
+  {
+    pecl::SerializerTree::Config flat;  // single 16:1 (hypothetical part)
+    flat.stages = {pecl::MuxStage{.fan_in = 16,
+                                  .skew_pp = Picoseconds{30.0},
+                                  .rj_sigma = Picoseconds{1.8},
+                                  .prop_delay = Picoseconds{260.0}}};
+    variants.push_back({"single 16:1 (more inputs to match)", flat});
+  }
+  {
+    pecl::SerializerTree::Config deep;  // 2:1 * 4 stages of binary muxing
+    deep.stages.assign(4, pecl::MuxStage{.fan_in = 2,
+                                         .skew_pp = Picoseconds{10.0},
+                                         .rj_sigma = Picoseconds{1.4},
+                                         .prop_delay = Picoseconds{180.0}});
+    variants.push_back({"4x binary 2:1 (jitter accumulates)", deep});
+  }
+
+  for (const auto& variant : variants) {
+    core::TestSystem sys(with_tree(variant.tree), 1234);
+    sys.program_prbs(7, 0xACE1);
+    sys.start();
+    const auto eye = sys.measure_eye(12000);
+    pecl::SerializerTree probe(variant.tree, Rng(1234));
+    table.add_comparison(
+        variant.name,
+        "lower DJ -> wider eye",
+        "TJ " + fmt(eye.jitter.peak_to_peak.ps(), 1) + " ps, eye " +
+            fmt(eye.eye_opening_ui, 3) + " UI, RJ(sigma) " +
+            fmt(probe.total_rj_sigma().ps(), 2) + " ps",
+        "-");
+  }
+
+  // Skew sweep on the paper's architecture: DJ scales with stage skew.
+  double prev_tj = 0.0;
+  bool monotone = true;
+  for (double scale : {0.0, 1.0, 2.0}) {
+    auto tree = pecl::SerializerTree::minitester_16to1();
+    for (auto& stage : tree.stages) {
+      stage.skew_pp = Picoseconds{stage.skew_pp.ps() * scale};
+    }
+    core::TestSystem sys(with_tree(tree), 77);
+    sys.program_prbs(7, 0xACE1);
+    sys.start();
+    const auto eye = sys.measure_eye(12000);
+    const double tj = eye.jitter.peak_to_peak.ps();
+    if (scale > 0.0) {
+      monotone &= tj > prev_tj;
+    }
+    prev_tj = tj;
+    table.add_comparison("stage skew x" + fmt(scale, 1),
+                         "TJ grows with skew",
+                         "TJ " + fmt(tj, 1) + " ps, eye " +
+                             fmt(eye.eye_opening_ui, 3) + " UI",
+                         "-");
+  }
+  table.add_comparison("skew -> TJ monotonicity", "expected", "-",
+                       monotone ? "OK (shape holds)" : "DEVIATES");
+}
+
+void bm_serialize_16to1(benchmark::State& state) {
+  pecl::SerializerTree tree(pecl::SerializerTree::minitester_16to1(), Rng(5));
+  Rng rng(6);
+  const auto bits = BitVector::random(16384, rng);
+  for (auto _ : state) {
+    auto edges = tree.serialize(bits, GbitsPerSec{5.0});
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+}
+BENCHMARK(bm_serialize_16to1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Ablation A1 - mux-tree architecture vs jitter at 5 Gbps");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

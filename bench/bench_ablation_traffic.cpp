@@ -1,0 +1,81 @@
+// Ablation A4: Data Vortex behavior across traffic patterns.
+//
+// The test bed exists to evaluate signaling protocols over the fabric
+// (Section 1); this ablation characterizes the substrate under the
+// standard interconnection-network patterns, including the adversarial
+// ones, with fairness accounting.
+#include "bench_common.hpp"
+#include "vortex/traffic.hpp"
+
+using namespace mgt;
+
+namespace {
+
+void run_reproduction(ReportTable& table) {
+  const auto geometry = vortex::Geometry::for_heights(16, 4);
+  const double load = 0.5;
+
+  struct Case {
+    const char* name;
+    vortex::TrafficPattern pattern;
+  };
+  double uniform_latency = 0.0;
+  double hotspot_throughput = 0.0;
+  double uniform_throughput = 0.0;
+  for (const Case& c :
+       {Case{"uniform random", vortex::TrafficPattern::Uniform},
+        Case{"hotspot (70% -> port 0)", vortex::TrafficPattern::Hotspot},
+        Case{"bit reverse (permutation)", vortex::TrafficPattern::BitReverse},
+        Case{"neighbor (permutation)", vortex::TrafficPattern::Neighbor},
+        Case{"tornado (adversarial)", vortex::TrafficPattern::Tornado}}) {
+    const auto r =
+        vortex::run_traffic(geometry, c.pattern, load, 600, 42, 0.7);
+    if (c.pattern == vortex::TrafficPattern::Uniform) {
+      uniform_latency = r.mean_latency_slots;
+      uniform_throughput = r.throughput_per_port;
+    }
+    if (c.pattern == vortex::TrafficPattern::Hotspot) {
+      hotspot_throughput = r.throughput_per_port;
+    }
+    table.add_comparison(
+        c.name, "offered 0.5/port/slot",
+        "thr " + fmt(r.throughput_per_port, 3) + ", lat " +
+            fmt(r.mean_latency_slots, 2) + " (p99 " +
+            fmt(r.p99_latency_slots, 0) + "), defl " +
+            fmt(r.mean_deflections, 2) + ", fair " + fmt(r.fairness, 2) +
+            ", reorder " + fmt(r.reorder_rate * 100.0, 1) + " %",
+        "-");
+  }
+
+  table.add_comparison("hotspot throughput collapse",
+                       "output port saturates at 1/slot",
+                       fmt(hotspot_throughput, 3) + " vs uniform " +
+                           fmt(uniform_throughput, 3),
+                       hotspot_throughput < 0.6 * uniform_throughput
+                           ? "OK (shape holds)"
+                           : "DEVIATES");
+  table.add_comparison("uncontended-ish uniform latency",
+                       ">= cylinder count", fmt(uniform_latency, 2),
+                       uniform_latency >= 5.0 ? "OK (shape holds)"
+                                              : "DEVIATES");
+}
+
+void bm_uniform_traffic(benchmark::State& state) {
+  const auto geometry = vortex::Geometry::for_heights(16, 4);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto r = vortex::run_traffic(geometry, vortex::TrafficPattern::Uniform,
+                                 0.5, 100, seed++);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_uniform_traffic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Ablation A4 - Data Vortex under standard traffic patterns");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

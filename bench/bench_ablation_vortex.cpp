@@ -1,0 +1,132 @@
+// Ablation A2: Data Vortex fabric characterization (substrate for the
+// Optical Test Bed; refs [4], [5]).
+//
+// The test bed exists to exercise exactly these properties: latency and
+// deflection ("virtual buffering") behavior of the deflection-routed
+// fabric as offered load rises, for the 16-port geometry implied by the
+// four header channels of Fig 4.
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "vortex/fabric.hpp"
+
+using namespace mgt;
+
+namespace {
+
+struct LoadResult {
+  double throughput = 0.0;   // delivered per port per slot
+  double latency = 0.0;      // mean slots
+  double deflections = 0.0;  // mean per packet
+  double block_rate = 0.0;   // injection backpressure
+};
+
+LoadResult run_load(double load, std::size_t slots, std::uint64_t seed) {
+  vortex::DataVortex fabric(vortex::Geometry::for_heights(16, 4));
+  Rng rng(seed);
+  std::uint64_t id = 1;
+  RunningStats latency;
+  RunningStats deflections;
+  std::uint64_t attempts = 0;
+  std::uint64_t blocked = 0;
+
+  std::vector<vortex::Delivery> deliveries;
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    for (std::size_t port = 0; port < 16; ++port) {
+      if (!rng.chance(load)) {
+        continue;
+      }
+      ++attempts;
+      vortex::Packet p;
+      p.id = id++;
+      p.destination = static_cast<std::uint32_t>(rng.below(16));
+      if (!fabric.inject(std::move(p), port)) {
+        ++blocked;
+      }
+    }
+    for (auto& d : fabric.step()) {
+      latency.add(static_cast<double>(d.latency_slots()));
+      deflections.add(static_cast<double>(d.packet.deflections));
+    }
+  }
+  std::vector<vortex::Delivery> tail;
+  fabric.drain(tail, 100000);
+  for (auto& d : tail) {
+    latency.add(static_cast<double>(d.latency_slots()));
+    deflections.add(static_cast<double>(d.packet.deflections));
+  }
+
+  LoadResult out;
+  out.throughput = static_cast<double>(fabric.stats().delivered) /
+                   static_cast<double>(slots) / 16.0;
+  out.latency = latency.mean();
+  out.deflections = deflections.mean();
+  out.block_rate = attempts == 0
+                       ? 0.0
+                       : static_cast<double>(blocked) /
+                             static_cast<double>(attempts);
+  return out;
+}
+
+void run_reproduction(ReportTable& table) {
+  double prev_latency = 0.0;
+  bool latency_monotone = true;
+  double low_latency = 0.0;
+  for (double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto r = run_load(load, 600, 42);
+    if (load > 0.1) {
+      latency_monotone &= r.latency >= prev_latency - 0.05;
+    } else {
+      low_latency = r.latency;
+    }
+    prev_latency = r.latency;
+    table.add_comparison(
+        "offered load " + fmt(load, 1),
+        "latency/deflections rise with load",
+        "thr " + fmt(r.throughput, 3) + "/port/slot, lat " +
+            fmt(r.latency, 2) + " slots, defl " + fmt(r.deflections, 2) +
+            ", blocked " + fmt(r.block_rate * 100.0, 1) + " %",
+        "-");
+  }
+  table.add_comparison("latency monotone in load", "expected", "-",
+                       latency_monotone ? "OK (shape holds)" : "DEVIATES");
+  table.add_comparison("uncontended latency", ">= cylinder count (5)",
+                       fmt(low_latency, 2) + " slots",
+                       low_latency >= 5.0 ? "OK (shape holds)"
+                                          : "DEVIATES");
+  table.add_comparison("low-latency small-packet transfer",
+                       "paper's stated objective (Section 1)",
+                       fmt(low_latency * 25.6, 0) +
+                           " ns at 25.6 ns/slot, light load",
+                       low_latency * 25.6 < 300.0 ? "OK (sub-300 ns)"
+                                                  : "DEVIATES");
+}
+
+void bm_fabric_step_loaded(benchmark::State& state) {
+  vortex::DataVortex fabric(vortex::Geometry::for_heights(16, 4));
+  Rng rng(7);
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    for (std::size_t port = 0; port < 16; ++port) {
+      if (rng.chance(0.5)) {
+        vortex::Packet p;
+        p.id = id++;
+        p.destination = static_cast<std::uint32_t>(rng.below(16));
+        fabric.inject(std::move(p), port);
+      }
+    }
+    auto out = fabric.step();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_fabric_step_loaded);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Ablation A2 - Data Vortex load/latency/deflection characterization");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

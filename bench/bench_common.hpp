@@ -1,0 +1,48 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary prints a "paper vs measured" ReportTable for its
+// figure (always, so `for b in build/bench/*; do $b; done` regenerates the
+// whole evaluation), then runs any registered google-benchmark timings of
+// the underlying simulation machinery.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace mgt::bench {
+
+/// Standard four-column reproduction table.
+inline ReportTable make_table(const std::string& title) {
+  return ReportTable(title, {"metric", "paper", "measured", "verdict"});
+}
+
+/// Verdict string: OK when |measured - target| <= tolerance.
+inline std::string verdict(double measured, double target, double tolerance) {
+  return std::abs(measured - target) <= tolerance ? "OK (shape holds)"
+                                                  : "DEVIATES";
+}
+
+/// Verdict for range specs like "70-75 ps".
+inline std::string verdict_range(double measured, double lo, double hi) {
+  return (measured >= lo && measured <= hi) ? "OK (in band)" : "DEVIATES";
+}
+
+/// Prints the table and runs benchmarks. Call at the end of main().
+inline int finish(ReportTable& table, int argc, char** argv) {
+  table.print(std::cout);
+  std::cout.flush();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mgt::bench

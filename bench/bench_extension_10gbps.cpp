@@ -1,0 +1,116 @@
+// Extension study: the paper's stated scale-up target (Section 1).
+//
+// "The end-application will require extending the word width to at least
+// 64 bits, and increasing channel data rates to 10 Gbps at each
+// wavelength, so that the aggregate data rate will be of the order of a
+// Terabit-per-second."
+//
+// The architecture extends naturally: a 4:1 + 8:1 tree gives 32 DLC lanes
+// at 312.5 Mbps for a 10 Gbps serial stream — still inside the FPGA's
+// I/O budget. What does NOT extend is the 2005 analog chain: this bench
+// quantifies how much faster the output stage and how much tighter the
+// mux skew must get before the 100 ps unit interval has a usable eye.
+#include "bench_common.hpp"
+#include "core/test_system.hpp"
+#include "digital/dlc.hpp"
+#include "pecl/mux.hpp"
+
+using namespace mgt;
+
+namespace {
+
+core::ChannelConfig ten_gig_config(Picoseconds buffer_rise,
+                                   double skew_scale, Picoseconds buffer_rj) {
+  core::ChannelConfig config;
+  config.rate = GbitsPerSec{10.0};
+  config.design_name = "tenGig-extension";
+
+  pecl::SerializerTree::Config tree;
+  tree.stages = {pecl::MuxStage{.fan_in = 4,
+                                .skew_pp = Picoseconds{12.0 * skew_scale},
+                                .rj_sigma = Picoseconds{1.4},
+                                .prop_delay = Picoseconds{160.0}},
+                 pecl::MuxStage{.fan_in = 8,
+                                .skew_pp = Picoseconds{22.0 * skew_scale},
+                                .rj_sigma = Picoseconds{1.2},
+                                .prop_delay = Picoseconds{220.0}}};
+  tree.clock_rj_sigma = Picoseconds{1.0};
+  config.serializer = tree;
+
+  config.buffer.rise_2080 = buffer_rise;
+  config.buffer.rj_sigma = buffer_rj;
+  config.clock.frequency = Gigahertz{2.5};  // rate/4: instrument's ceiling
+  config.clock.rj_sigma = Picoseconds{0.8};
+  config.hookup = sig::Channel::ideal().config();
+  return config;
+}
+
+void run_reproduction(ReportTable& table) {
+  // Feasibility of the digital side.
+  dig::Dlc dlc;
+  dlc.regs().write(dig::reg::kLaneCount, 32);
+  const auto lane_rate = dlc.check_lane_rate(GbitsPerSec{10.0});
+  table.add_comparison("10 Gbps via 4:1 + 8:1 (32 lanes)",
+                       "FPGA I/O must keep its margin",
+                       fmt_unit(lane_rate.mbps(), "Mbps/lane", 0),
+                       dlc.within_margin(GbitsPerSec{10.0})
+                           ? "OK (within margin)"
+                           : "DEVIATES");
+
+  // Analog chain variants at 10 Gbps.
+  struct Variant {
+    const char* name;
+    Picoseconds rise;
+    double skew_scale;
+    Picoseconds rj;
+  };
+  for (const Variant& v :
+       {Variant{"2005 mini-tester parts (120 ps rise)", Picoseconds{100.0},
+                1.0, Picoseconds{2.6}},
+        Variant{"2005 SiGe testbed parts (72 ps rise)", Picoseconds{60.0},
+                1.0, Picoseconds{2.4}},
+        Variant{"improved: 35 ps rise, same skew", Picoseconds{35.0}, 1.0,
+                Picoseconds{1.8}},
+        Variant{"improved: 35 ps rise, half skew", Picoseconds{35.0}, 0.5,
+                Picoseconds{1.8}}}) {
+    core::TestSystem sys(ten_gig_config(v.rise, v.skew_scale, v.rj), 77);
+    sys.program_prbs(7, 0xACE1);
+    sys.start();
+    const auto eye = sys.measure_eye(20000);
+    const bool usable = eye.eye_opening_ui >= 0.5 && eye.eye_height.mv() > 0;
+    table.add_comparison(
+        v.name, "usable eye at UI = 100 ps?",
+        "TJ " + fmt(eye.jitter.peak_to_peak.ps(), 1) + " ps, eye " +
+            fmt(eye.eye_opening_ui, 2) + " UI, height " +
+            fmt(eye.eye_height.mv(), 0) + " mV",
+        usable ? "usable" : "NOT usable");
+  }
+
+  // Aggregate arithmetic of the end application.
+  const double aggregate_gbps = 64.0 * 10.0;
+  table.add_comparison("64 channels x 10 Gbps", "order of Tbps aggregate",
+                       fmt(aggregate_gbps / 1000.0, 2) + " Tbps",
+                       aggregate_gbps >= 500.0 ? "OK (shape holds)"
+                                               : "DEVIATES");
+}
+
+void bm_eye_10gbps(benchmark::State& state) {
+  core::TestSystem sys(
+      ten_gig_config(Picoseconds{35.0}, 0.5, Picoseconds{1.8}), 77);
+  sys.program_prbs(7, 0xACE1);
+  sys.start();
+  for (auto _ : state) {
+    auto eye = sys.measure_eye(2048);
+    benchmark::DoNotOptimize(eye);
+  }
+}
+BENCHMARK(bm_eye_10gbps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Extension - 10 Gbps channels / Terabit aggregate (Section 1 target)");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

@@ -1,0 +1,83 @@
+// Fig 4: the Optical Test Bed packet slot format.
+//
+// Regenerates every timing callout printed on the paper's Fig 4 from the
+// SlotFormat implementation and verifies a built slot realizes them.
+#include "bench_common.hpp"
+#include "testbed/framing.hpp"
+#include "util/rng.hpp"
+
+using namespace mgt;
+
+namespace {
+
+void run_reproduction(ReportTable& table) {
+  const testbed::SlotFormat fmt;
+  fmt.validate();
+
+  table.add_comparison("packet slot time", "64 x 400 ps = 25.6 ns",
+                       fmt_unit(fmt.slot_duration().ns(), "ns", 1),
+                       bench::verdict(fmt.slot_duration().ns(), 25.6, 1e-9));
+  table.add_comparison("valid data window", "32 x 400 ps = 12.8 ns",
+                       fmt_unit(fmt.data_duration().ns(), "ns", 1),
+                       bench::verdict(fmt.data_duration().ns(), 12.8, 1e-9));
+  table.add_comparison("max clock/data window", "46 x 400 ps = 18.4 ns",
+                       fmt_unit(fmt.window_duration().ns(), "ns", 1),
+                       bench::verdict(fmt.window_duration().ns(), 18.4, 1e-9));
+  table.add_comparison(
+      "guard time (each side)", "5 x 400 ps = 2.0 ns",
+      fmt_unit(static_cast<double>(fmt.guard_bits) * fmt.ui.ns(), "ns", 1),
+      bench::verdict(static_cast<double>(fmt.guard_bits) * fmt.ui.ps(),
+                     2000.0, 1e-9));
+  table.add_comparison(
+      "dead time", "8 x 400 ps = 3.2 ns",
+      fmt_unit(static_cast<double>(fmt.dead_bits) * fmt.ui.ns(), "ns", 1),
+      bench::verdict(static_cast<double>(fmt.dead_bits) * fmt.ui.ps(),
+                     3200.0, 1e-9));
+
+  // Realize a slot and count what the channels actually carry.
+  Rng rng(1);
+  testbed::TestbedPacket packet;
+  for (auto& lane : packet.payload) {
+    lane = BitVector::random(fmt.data_bits, rng);
+  }
+  packet.header = 0xA;
+  const auto slot = testbed::build_slot(fmt, packet);
+  table.add_comparison("clock edges in window", "46 (pre+data+post)",
+                       std::to_string(slot.clock.transition_count()),
+                       slot.clock.transition_count() == 46
+                           ? "OK (shape holds)"
+                           : "DEVIATES");
+  table.add_comparison("frame bit coverage", "32 bits (valid data)",
+                       std::to_string(slot.frame.popcount()),
+                       slot.frame.popcount() == 32 ? "OK (shape holds)"
+                                                   : "DEVIATES");
+  const auto parsed = testbed::parse_slot(fmt, slot);
+  table.add_comparison("header round trip", "4-bit routing address",
+                       parsed.header == packet.header ? "recovered"
+                                                      : "corrupted",
+                       parsed.header == packet.header ? "OK (shape holds)"
+                                                      : "DEVIATES");
+}
+
+void bm_build_slot(benchmark::State& state) {
+  const testbed::SlotFormat fmt;
+  Rng rng(2);
+  testbed::TestbedPacket packet;
+  for (auto& lane : packet.payload) {
+    lane = BitVector::random(fmt.data_bits, rng);
+  }
+  for (auto _ : state) {
+    auto slot = testbed::build_slot(fmt, packet);
+    benchmark::DoNotOptimize(slot);
+  }
+}
+BENCHMARK(bm_build_slot);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Fig 4 - Optical Test Bed packet slot format (2.5 Gbps)");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

@@ -1,0 +1,63 @@
+// Fig 10: programmable high logic level, stepped down in 100 mV
+// increments, observed on a 1.25 Gbps signal.
+//
+// Paper: "the high logic level is shown at its maximum value and at three
+// lower values in 100 mV steps"; this programmability lets the Data Vortex
+// be characterized under non-ideal signal conditions.
+#include "bench_common.hpp"
+#include "core/presets.hpp"
+#include "core/test_system.hpp"
+
+using namespace mgt;
+
+namespace {
+
+void run_reproduction(ReportTable& table) {
+  core::TestSystem sys(core::presets::optical_testbed(GbitsPerSec{1.25}), 42);
+  sys.program_pattern(BitVector::from_string("11110000"));
+  sys.start();
+
+  const double voh_max = sys.buffer().levels().voh.mv();
+  const double hookup_gain = 0.97;  // SMA cable AC loss
+  for (int step = 0; step <= 3; ++step) {
+    const double programmed = voh_max - 100.0 * step;
+    sys.buffer().set_voh(Millivolts{programmed});
+    const auto amp = sys.measure_amplitude(4096);
+    const double mid = sys.buffer().levels().midpoint().mv();
+    const double expected = mid + hookup_gain * (programmed - mid);
+    table.add_comparison(
+        "VOH step " + std::to_string(step) + " (programmed " +
+            fmt(programmed, 0) + " mV)",
+        "steps of -100 mV", fmt_unit(amp.settled_high.mv(), "mV", 0),
+        bench::verdict(amp.settled_high.mv(), expected, 25.0));
+  }
+
+  // The staircase property itself: successive measured highs ~100 mV apart.
+  sys.buffer().set_voh(Millivolts{voh_max});
+  const double high0 = sys.measure_amplitude(4096).settled_high.mv();
+  sys.buffer().set_voh(Millivolts{voh_max - 100.0});
+  const double high1 = sys.measure_amplitude(4096).settled_high.mv();
+  table.add_comparison("step size realized", "100 mV",
+                       fmt_unit(high0 - high1, "mV", 0),
+                       bench::verdict(high0 - high1, 97.0, 15.0));
+}
+
+void bm_amplitude_measurement(benchmark::State& state) {
+  core::TestSystem sys(core::presets::optical_testbed(GbitsPerSec{1.25}), 42);
+  sys.program_pattern(BitVector::from_string("11110000"));
+  sys.start();
+  for (auto _ : state) {
+    auto amp = sys.measure_amplitude(1024);
+    benchmark::DoNotOptimize(amp);
+  }
+}
+BENCHMARK(bm_amplitude_measurement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Fig 10 - high logic level control in 100 mV steps (1.25 Gbps)");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

@@ -1,0 +1,56 @@
+// Fig 11: programmable amplitude swing, stepped in 200 mV increments at a
+// constant midpoint bias, observed on a 2.5 Gbps signal.
+#include "bench_common.hpp"
+#include "core/presets.hpp"
+#include "core/test_system.hpp"
+
+using namespace mgt;
+
+namespace {
+
+void run_reproduction(ReportTable& table) {
+  core::TestSystem sys(core::presets::optical_testbed(GbitsPerSec{2.5}), 42);
+  sys.program_pattern(BitVector::from_string("11110000"));
+  sys.start();
+
+  const double mid = sys.buffer().levels().midpoint().mv();
+  const double hookup_gain = 0.97;
+  for (double swing : {800.0, 600.0, 400.0, 200.0}) {
+    sys.buffer().set_swing(Millivolts{swing});
+    const auto amp = sys.measure_amplitude(4096);
+    const double measured = amp.settled_high.mv() - amp.settled_low.mv();
+    table.add_comparison(
+        "swing programmed " + fmt(swing, 0) + " mV", "steps of 200 mV",
+        fmt_unit(measured, "mV", 0),
+        bench::verdict(measured, hookup_gain * swing, 40.0));
+
+    const double measured_mid =
+        (amp.settled_high.mv() + amp.settled_low.mv()) / 2.0;
+    table.add_comparison("  ... midpoint bias", "constant",
+                         fmt_unit(measured_mid, "mV", 0),
+                         bench::verdict(measured_mid, mid, 25.0));
+  }
+}
+
+void bm_swing_programming(benchmark::State& state) {
+  core::TestSystem sys(core::presets::optical_testbed(), 42);
+  sys.program_pattern(BitVector::from_string("11110000"));
+  sys.start();
+  double swing = 800.0;
+  for (auto _ : state) {
+    sys.buffer().set_swing(Millivolts{swing});
+    auto amp = sys.measure_amplitude(1024);
+    benchmark::DoNotOptimize(amp);
+    swing = swing > 300.0 ? swing - 200.0 : 800.0;
+  }
+}
+BENCHMARK(bm_swing_programming)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Fig 11 - amplitude swing control in 200 mV steps (2.5 Gbps)");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

@@ -1,0 +1,75 @@
+// Fig 13 / Section 4: parallel high-speed wafer probing with arrays of
+// miniature testers.
+//
+// Paper: replicating the mini-tester across die sites lets functional
+// testing run in parallel, "increasing production throughput by an order
+// of magnitude". Each tester needs only power, one RF clock and USB, and
+// leans on the DUT's BIST so few signals per site are required.
+#include "bench_common.hpp"
+#include "minitester/array.hpp"
+
+using namespace mgt;
+
+namespace {
+
+void run_reproduction(ReportTable& table) {
+  constexpr std::size_t kDies = 256;
+  constexpr double kTouchdownS = 1.5;
+  constexpr double kDieTestS = 0.8;
+
+  const double t1 =
+      minitester::TesterArray::wafer_time_s(kDies, 1, kTouchdownS, kDieTestS);
+  for (std::size_t sites : {1u, 4u, 16u, 64u}) {
+    const double t = minitester::TesterArray::wafer_time_s(
+        kDies, sites, kTouchdownS, kDieTestS);
+    const double speedup = t1 / t;
+    table.add_comparison(
+        std::to_string(sites) + "-site array, 256-die wafer",
+        sites == 16 ? "order-of-magnitude speedup" : "-",
+        fmt(t, 0) + " s  (x" + fmt(speedup, 1) + ")",
+        sites == 16 ? (speedup >= 10.0 ? "OK (>= 10x)" : "DEVIATES") : "-");
+  }
+
+  // Full-fidelity probe of a small wafer: every die's BIST actually runs
+  // through the 5 Gbps signal chain, with defects injected.
+  minitester::TesterArray::Config config;
+  config.testers = 16;
+  config.defect_rate = 0.08;
+  config.bist_bits = 256;
+  minitester::TesterArray array(config, 7);
+  const auto wafer = array.probe_wafer(64);
+
+  table.add_comparison("64-die wafer probed (16 sites)",
+                       "parallel functional test",
+                       std::to_string(wafer.touchdowns) + " touchdowns, " +
+                           fmt(wafer.total_time_s, 1) + " s",
+                       wafer.touchdowns == 4 ? "OK (shape holds)"
+                                             : "DEVIATES");
+  table.add_comparison("defective dies caught", "BIST-based screen",
+                       std::to_string(wafer.fails) + " fails, " +
+                           std::to_string(wafer.overkills) + " overkill",
+                       wafer.overkills == 0 ? "OK (no overkill)"
+                                            : "DEVIATES");
+  table.add_comparison("throughput", "-",
+                       fmt(wafer.dies_per_hour(), 0) + " dies/hour", "-");
+}
+
+void bm_bist_per_die(benchmark::State& state) {
+  minitester::MiniTester tester(minitester::MiniTester::Config{}, 3);
+  tester.program_prbs(7, 0xACE1);
+  tester.start();
+  for (auto _ : state) {
+    auto result = tester.run_bist(256);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(bm_bist_per_die)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Fig 13 - parallel wafer probing with mini-tester arrays");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

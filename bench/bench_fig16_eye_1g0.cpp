@@ -1,0 +1,35 @@
+// Fig 16: 1.0 Gbps eye diagram produced by the miniature WLP tester.
+//
+// Paper: wide eye opening, sharp transitions, ~50 ps p-p jitter, eye
+// opening about 0.95 UI.
+#include "bench_eye_common.hpp"
+
+using namespace mgt;
+
+namespace {
+
+void bm_minitester_eye_1g0(benchmark::State& state) {
+  core::TestSystem sys(core::presets::minitester(GbitsPerSec{1.0}), 99);
+  sys.program_prbs(7, 0xACE1);
+  sys.start();
+  for (auto _ : state) {
+    auto eye = sys.measure_eye(2000);
+    benchmark::DoNotOptimize(eye);
+  }
+}
+BENCHMARK(bm_minitester_eye_1g0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Fig 16 - 1.0 Gbps eye, miniature WLP tester");
+  bench::run_eye_reproduction(table,
+                              core::presets::minitester(GbitsPerSec{1.0}),
+                              bench::EyeSpec{.paper_tj_pp_ps = 50.0,
+                                             .paper_opening_ui = 0.95,
+                                             .tj_tolerance_ps = 7.0,
+                                             .ui_tolerance = 0.02},
+                              /*seed=*/99);
+  return bench::finish(table, argc, argv);
+}

@@ -1,0 +1,33 @@
+// Fig 17: 2.5 Gbps eye diagram from the miniature WLP tester.
+//
+// Paper: eye opening slightly smaller than at 1.0 Gbps, about 0.87 UI.
+#include "bench_eye_common.hpp"
+
+using namespace mgt;
+
+namespace {
+
+void bm_minitester_eye_2g5(benchmark::State& state) {
+  core::TestSystem sys(core::presets::minitester(GbitsPerSec{2.5}), 99);
+  sys.program_prbs(7, 0xACE1);
+  sys.start();
+  for (auto _ : state) {
+    auto eye = sys.measure_eye(2000);
+    benchmark::DoNotOptimize(eye);
+  }
+}
+BENCHMARK(bm_minitester_eye_2g5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Fig 17 - 2.5 Gbps eye, miniature WLP tester");
+  bench::run_eye_reproduction(table,
+                              core::presets::minitester(GbitsPerSec{2.5}),
+                              bench::EyeSpec{.paper_tj_pp_ps = -1.0,
+                                             .paper_opening_ui = 0.87,
+                                             .ui_tolerance = 0.025},
+                              /*seed=*/99);
+  return bench::finish(table, argc, argv);
+}

@@ -1,0 +1,80 @@
+// Fig 18: example 5.0 Gbps bit patterns from the miniature WLP tester.
+//
+// Paper: at the 200 ps bit period, the I/O buffers' 120 ps (20-80 %) rise
+// time "begins to limit amplitude swing" — single-bit pulses no longer
+// reach the rails, yet the data remains recoverable (Fig 19's eye stays
+// open).
+#include "bench_common.hpp"
+#include "core/presets.hpp"
+#include "core/test_system.hpp"
+
+using namespace mgt;
+
+namespace {
+
+void run_reproduction(ReportTable& table) {
+  core::TestSystem sys(core::presets::minitester(GbitsPerSec{5.0}), 99);
+  sys.program_prbs(7, 0xACE1);
+  sys.start();
+
+  // Rise time of the mini-tester's output stage, measured on an isolated
+  // (settled) transition: use a slow square pattern.
+  core::TestSystem slow(core::presets::minitester(GbitsPerSec{1.0}), 99);
+  slow.program_pattern(BitVector::from_string("1111111100000000"));
+  slow.start();
+  const auto rf = slow.measure_risefall(4096);
+  table.add_comparison("20-80 % rise time (I/O buffer)", "120 ps",
+                       fmt_unit(rf.rise_mean.ps(), "ps", 1),
+                       bench::verdict(rf.rise_mean.ps(), 120.0, 10.0));
+
+  // Amplitude limiting at 5 Gbps: compare the swing an alternating
+  // (010101) pattern reaches against the swing of the slow pattern.
+  core::TestSystem fast(core::presets::minitester(GbitsPerSec{5.0}), 99);
+  fast.program_pattern(BitVector::alternating(16));
+  fast.start();
+  const auto fast_amp = fast.measure_amplitude(4096);
+  const auto slow_amp = slow.measure_amplitude(4096);
+  // Typical (settled-sample) amplitude, not the jitter-inflated extreme.
+  const double ratio =
+      (fast_amp.settled_high.mv() - fast_amp.settled_low.mv()) /
+      (slow_amp.settled_high.mv() - slow_amp.settled_low.mv());
+  table.add_comparison("alternating-bit swing vs settled swing",
+                       "reduced (rise time limits it)",
+                       fmt(ratio * 100.0, 0) + " %",
+                       ratio < 0.97 && ratio > 0.55 ? "OK (shape holds)"
+                                                    : "DEVIATES");
+
+  // The patterns themselves stay recoverable at 5 Gbps.
+  const auto stim = sys.generate(4096);
+  const auto recovered = stim.edges.to_bits(
+      4096, stim.ui,
+      Picoseconds{stim.t0.ps() - stim.chain.group_delay().ps()});
+  std::size_t errors = recovered.hamming_distance(stim.bits);
+  table.add_comparison("bit pattern integrity at 5 Gbps", "patterns visible",
+                       std::to_string(errors) + " errors / 4096 bits",
+                       errors == 0 ? "OK (shape holds)" : "DEVIATES");
+  table.add_comparison("bit period", "200 ps",
+                       fmt_unit(stim.ui.ps(), "ps", 0),
+                       bench::verdict(stim.ui.ps(), 200.0, 1e-9));
+}
+
+void bm_pattern_generation_5g0(benchmark::State& state) {
+  core::TestSystem sys(core::presets::minitester(GbitsPerSec{5.0}), 99);
+  sys.program_prbs(7, 0xACE1);
+  sys.start();
+  for (auto _ : state) {
+    auto stim = sys.generate(4096);
+    benchmark::DoNotOptimize(stim);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(bm_pattern_generation_5g0);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Fig 18 - 5.0 Gbps bit patterns, miniature WLP tester");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

@@ -1,0 +1,83 @@
+// Data Vortex routing demo: watches one packet spiral through the
+// cylinders, then characterizes the fabric under load (refs [4], [5]).
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "vortex/fabric.hpp"
+
+int main() {
+  using namespace mgt;
+  using namespace mgt::vortex;
+
+  std::printf("== Data Vortex: multiple-level minimum-logic network ==\n\n");
+
+  const auto geometry = Geometry::for_heights(16, 4);
+  std::printf("Geometry: %zu heights x %zu angles x %zu cylinders "
+              "(%zu nodes, 4 routing header bits)\n\n",
+              geometry.height_count, geometry.angle_count,
+              geometry.cylinder_count, geometry.node_count());
+
+  // --- Trace one packet -----------------------------------------------------
+  DataVortex fabric(geometry);
+  Packet p;
+  p.id = 1;
+  p.destination = 0b1011;  // port 11
+  fabric.inject(std::move(p), /*port=*/2);
+  std::printf("Packet 1: injected at port 2, addressed to port 11 "
+              "(header 1011):\n");
+  for (int slot = 0; fabric.occupancy() > 0 && slot < 32; ++slot) {
+    for (const auto& [node, id] : fabric.snapshot()) {
+      std::printf("  slot %2d: cylinder %zu, angle %zu, height %2zu "
+                  "(%s)\n",
+                  slot, node.cylinder, node.angle, node.height,
+                  node.cylinder + 1 == geometry.cylinder_count
+                      ? "awaiting ejection"
+                      : "routing");
+    }
+    const auto delivered = fabric.step();
+    for (const auto& d : delivered) {
+      std::printf("  slot %2d: EJECTED at port %u after %u hops, "
+                  "%u deflections\n",
+                  slot, d.output_port, d.packet.hops, d.packet.deflections);
+    }
+  }
+
+  // --- Load characterization -------------------------------------------------
+  std::printf("\nLoad sweep (16 ports, 600 slots each):\n");
+  std::printf("  %-6s %-12s %-12s %-12s\n", "load", "thr/port", "latency",
+              "deflections");
+  for (double load : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    DataVortex f(geometry);
+    Rng rng(42);
+    std::uint64_t id = 1;
+    RunningStats latency;
+    RunningStats deflections;
+    for (int slot = 0; slot < 600; ++slot) {
+      for (std::size_t port = 0; port < 16; ++port) {
+        if (rng.chance(load)) {
+          Packet q;
+          q.id = id++;
+          q.destination = static_cast<std::uint32_t>(rng.below(16));
+          f.inject(std::move(q), port);
+        }
+      }
+      for (const auto& d : f.step()) {
+        latency.add(static_cast<double>(d.latency_slots()));
+        deflections.add(static_cast<double>(d.packet.deflections));
+      }
+    }
+    std::vector<Delivery> tail;
+    f.drain(tail, 100000);
+    for (const auto& d : tail) {
+      latency.add(static_cast<double>(d.latency_slots()));
+      deflections.add(static_cast<double>(d.packet.deflections));
+    }
+    std::printf("  %-6.1f %-12.3f %-12.2f %-12.2f\n", load,
+                static_cast<double>(f.stats().delivered) / 600.0 / 16.0,
+                latency.mean(), deflections.mean());
+  }
+  std::printf("\nEvery packet was delivered to its addressed port; "
+              "deflection laps are the only buffering in the fabric.\n");
+  return 0;
+}

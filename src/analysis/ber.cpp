@@ -1,0 +1,75 @@
+#include "analysis/ber.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mgt::ana {
+
+BerResult compare_bits(const BitVector& captured, const BitVector& expected) {
+  const std::size_t n = std::min(captured.size(), expected.size());
+  BerResult out;
+  out.bits_compared = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (captured.get(i) != expected.get(i)) {
+      ++out.errors;
+    }
+  }
+  return out;
+}
+
+BerResult compare_bits_aligned(const BitVector& captured,
+                               const BitVector& expected,
+                               std::size_t max_shift) {
+  BerResult best;
+  best.errors = static_cast<std::size_t>(-1);
+  for (std::size_t shift = 0; shift <= max_shift; ++shift) {
+    if (shift >= captured.size()) {
+      break;
+    }
+    const std::size_t n = std::min(captured.size() - shift, expected.size());
+    if (n == 0) {
+      break;
+    }
+    BerResult r;
+    r.bits_compared = n;
+    r.alignment = shift;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (captured.get(i + shift) != expected.get(i)) {
+        ++r.errors;
+      }
+    }
+    if (r.errors < best.errors) {
+      best = r;
+    }
+    if (best.errors == 0) {
+      break;
+    }
+  }
+  MGT_CHECK(best.errors != static_cast<std::size_t>(-1),
+            "no alignment could be evaluated");
+  return best;
+}
+
+Picoseconds bathtub_opening(const std::vector<BathtubPoint>& scan,
+                            double threshold) {
+  if (scan.size() < 2) {
+    return Picoseconds{0.0};
+  }
+  // Assume uniform strobe steps.
+  const double step =
+      scan[1].strobe_offset.ps() - scan[0].strobe_offset.ps();
+  std::size_t best_run = 0;
+  std::size_t run = 0;
+  for (const auto& p : scan) {
+    if (p.ber <= threshold) {
+      ++run;
+      best_run = std::max(best_run, run);
+    } else {
+      run = 0;
+    }
+  }
+  return Picoseconds{static_cast<double>(best_run) * step};
+}
+
+}  // namespace mgt::ana

@@ -1,0 +1,47 @@
+// Dual-Dirac BER extrapolation from bathtub scans.
+//
+// A production tester cannot count to BER 1e-12 directly; it measures the
+// bathtub walls at accessible BERs, fits the Gaussian tails (the dual-
+// Dirac model: TJ(BER) = DJ + 2*Q(BER)*RJ_sigma), and extrapolates the eye
+// at the target BER. This module provides the Q-scale transform, the
+// two-sided wall fit, and the extrapolated opening.
+#pragma once
+
+#include <vector>
+
+#include "analysis/ber.hpp"
+#include "util/units.hpp"
+
+namespace mgt::ana {
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.2e-9 over (0, 1)).
+double inverse_normal_cdf(double p);
+
+/// Q factor for a given BER (per-edge tail probability): Q = Phi^-1(1-ber).
+double q_of_ber(double ber);
+
+/// Result of fitting one bathtub.
+struct BathtubFit {
+  // Per-side Gaussian tail fits (time in ps, increasing into the eye).
+  double left_sigma_ps = 0.0;
+  double left_mu_ps = 0.0;    // dual-Dirac edge position (Q = 0 intercept)
+  double right_sigma_ps = 0.0;
+  double right_mu_ps = 0.0;
+  std::size_t points_used = 0;
+
+  [[nodiscard]] double rj_sigma_ps() const {
+    return (left_sigma_ps + right_sigma_ps) / 2.0;
+  }
+  /// Eye opening (ps) extrapolated to the given BER.
+  [[nodiscard]] double eye_at_ber_ps(double ber) const;
+  [[nodiscard]] bool valid() const { return points_used >= 4; }
+};
+
+/// Fits the dual-Dirac model to a bathtub scan. Points with BER in
+/// (ber_min, 0.5) on each wall enter the fit; returns an invalid fit when
+/// either wall has fewer than two usable points.
+BathtubFit fit_bathtub(const std::vector<BathtubPoint>& scan,
+                       double ber_min = 1e-6);
+
+}  // namespace mgt::ana

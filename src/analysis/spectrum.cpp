@@ -1,0 +1,132 @@
+#include "analysis/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace mgt::ana {
+
+TieSequence extract_tie(const std::vector<sig::Crossing>& crossings,
+                        Picoseconds ui, Picoseconds t_ref) {
+  MGT_CHECK(ui.ps() > 0.0);
+  TieSequence out;
+  if (crossings.size() < 2) {
+    return out;
+  }
+  out.tie_ps.reserve(crossings.size());
+  for (const auto& c : crossings) {
+    const double offset = c.time.ps() - t_ref.ps();
+    const double k = std::round(offset / ui.ps());
+    out.tie_ps.push_back(offset - k * ui.ps());
+  }
+  out.mean_spacing = Picoseconds{
+      (crossings.back().time.ps() - crossings.front().time.ps()) /
+      static_cast<double>(crossings.size() - 1)};
+  return out;
+}
+
+std::vector<SpectrumBin> jitter_spectrum(const TieSequence& tie,
+                                         std::size_t bins) {
+  MGT_CHECK(bins >= 2);
+  std::vector<SpectrumBin> spectrum;
+  const std::size_t n = tie.tie_ps.size();
+  if (n < 8 || tie.mean_spacing.ps() <= 0.0) {
+    return spectrum;
+  }
+  // Remove the mean (static phase offset is not jitter).
+  double mean = 0.0;
+  for (double x : tie.tie_ps) {
+    mean += x;
+  }
+  mean /= static_cast<double>(n);
+
+  // Hann window with amplitude correction (coherent gain 0.5).
+  std::vector<double> windowed(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(k) /
+                              static_cast<double>(n - 1)));
+    windowed[k] = (tie.tie_ps[k] - mean) * w;
+  }
+
+  // Edge rate: one sample per mean_spacing ps -> fs = 1000/spacing GHz.
+  const double fs_ghz = 1000.0 / tie.mean_spacing.ps();
+
+  // Evaluate on the DFT's NATURAL grid (resolution fs/n): a coarser grid
+  // would sample between mainlobes and miss off-grid tones entirely. The
+  // natural bins are then peak-decimated into the requested output bins.
+  const std::size_t n_natural = n / 2;
+  std::vector<double> natural_amp(n_natural + 1, 0.0);
+  for (std::size_t m = 1; m <= n_natural; ++m) {
+    const double omega =
+        2.0 * std::numbers::pi * static_cast<double>(m) /
+        static_cast<double>(n);
+    // Rotation recurrence avoids a sin/cos per sample.
+    const std::complex<double> step{std::cos(omega), -std::sin(omega)};
+    std::complex<double> rot{1.0, 0.0};
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t k = 0; k < n; ++k) {
+      acc += windowed[k] * rot;
+      rot *= step;
+    }
+    // Single-sided amplitude, corrected for the Hann coherent gain (0.5).
+    natural_amp[m] = 2.0 * std::abs(acc) / (0.5 * static_cast<double>(n));
+  }
+
+  const std::size_t out_bins = std::min(bins, n_natural);
+  spectrum.reserve(out_bins);
+  for (std::size_t b = 0; b < out_bins; ++b) {
+    const std::size_t lo = b * n_natural / out_bins + 1;
+    const std::size_t hi = (b + 1) * n_natural / out_bins;
+    SpectrumBin bin;
+    std::size_t peak_m = lo;
+    for (std::size_t m = lo; m <= hi && m <= n_natural; ++m) {
+      if (natural_amp[m] > bin.amplitude_ps) {
+        bin.amplitude_ps = natural_amp[m];
+        peak_m = m;
+      }
+    }
+    bin.frequency = Gigahertz{static_cast<double>(peak_m) /
+                              static_cast<double>(n) * fs_ghz};
+    spectrum.push_back(bin);
+  }
+  return spectrum;
+}
+
+std::vector<Tone> find_tones(const std::vector<SpectrumBin>& spectrum,
+                             double floor_factor) {
+  std::vector<Tone> tones;
+  if (spectrum.size() < 8) {
+    return tones;
+  }
+  std::vector<double> mags;
+  mags.reserve(spectrum.size());
+  for (const auto& bin : spectrum) {
+    mags.push_back(bin.amplitude_ps);
+  }
+  std::nth_element(mags.begin(), mags.begin() + mags.size() / 2, mags.end());
+  const double median = mags[mags.size() / 2];
+  const double threshold = floor_factor * std::max(median, 1e-12);
+
+  for (std::size_t b = 0; b < spectrum.size(); ++b) {
+    if (spectrum[b].amplitude_ps < threshold) {
+      continue;
+    }
+    // Local maximum only (skip the skirts of a strong tone).
+    const double left = b > 0 ? spectrum[b - 1].amplitude_ps : 0.0;
+    const double right =
+        b + 1 < spectrum.size() ? spectrum[b + 1].amplitude_ps : 0.0;
+    if (spectrum[b].amplitude_ps >= left &&
+        spectrum[b].amplitude_ps >= right) {
+      tones.push_back(Tone{spectrum[b].frequency, spectrum[b].amplitude_ps});
+    }
+  }
+  std::sort(tones.begin(), tones.end(), [](const Tone& a, const Tone& b) {
+    return a.amplitude_ps > b.amplitude_ps;
+  });
+  return tones;
+}
+
+}  // namespace mgt::ana

@@ -1,0 +1,87 @@
+#include "analysis/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mgt::ana {
+
+PlacementAccuracy measure_placement(
+    const std::vector<sig::Crossing>& measured,
+    const std::vector<Picoseconds>& programmed) {
+  MGT_CHECK(std::is_sorted(programmed.begin(), programmed.end()),
+            "programmed edge times must be sorted");
+  PlacementAccuracy out;
+  if (programmed.empty()) {
+    return out;
+  }
+  RunningStats err;
+  double max_abs = 0.0;
+  for (const auto& c : measured) {
+    // Nearest programmed edge.
+    auto it = std::lower_bound(programmed.begin(), programmed.end(), c.time);
+    double best = 1e300;
+    if (it != programmed.end()) {
+      best = std::min(best, c.time.ps() - it->ps());
+    }
+    if (it != programmed.begin()) {
+      const double d = c.time.ps() - std::prev(it)->ps();
+      if (std::abs(d) < std::abs(best)) {
+        best = d;
+      }
+    }
+    err.add(best);
+    max_abs = std::max(max_abs, std::abs(best));
+  }
+  out.count = err.count();
+  out.mean_error = Picoseconds{err.mean()};
+  out.max_abs_error = Picoseconds{max_abs};
+  out.rms_error = Picoseconds{err.rms()};
+  return out;
+}
+
+DelayLinearity fit_delay_linearity(const std::vector<double>& codes,
+                                   const std::vector<Picoseconds>& delays) {
+  MGT_CHECK(codes.size() == delays.size());
+  MGT_CHECK(codes.size() >= 2, "need at least two points to fit");
+  const auto n = static_cast<double>(codes.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    sx += codes[i];
+    sy += delays[i].ps();
+    sxx += codes[i] * codes[i];
+    sxy += codes[i] * delays[i].ps();
+  }
+  const double denom = n * sxx - sx * sx;
+  MGT_CHECK(denom != 0.0, "degenerate code set");
+
+  DelayLinearity out;
+  out.gain_ps_per_code = (n * sxy - sx * sy) / denom;
+  out.offset_ps = (sy - out.gain_ps_per_code * sx) / n;
+
+  double max_inl = 0.0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const double fitted = out.gain_ps_per_code * codes[i] + out.offset_ps;
+    max_inl = std::max(max_inl, std::abs(delays[i].ps() - fitted));
+  }
+  out.max_inl = Picoseconds{max_inl};
+
+  double max_dnl = 0.0;
+  for (std::size_t i = 1; i < codes.size(); ++i) {
+    const double code_step = codes[i] - codes[i - 1];
+    const double step = delays[i].ps() - delays[i - 1].ps();
+    if (step < 0.0) {
+      out.monotonic = false;
+    }
+    max_dnl = std::max(
+        max_dnl, std::abs(step - out.gain_ps_per_code * code_step));
+  }
+  out.max_dnl = Picoseconds{max_dnl};
+  return out;
+}
+
+}  // namespace mgt::ana

@@ -1,0 +1,50 @@
+#include "core/presets.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::core::presets {
+
+ChannelConfig optical_testbed(GbitsPerSec rate) {
+  MGT_CHECK(rate.gbps() > 0.0 && rate.gbps() <= 4.2,
+            "testbed PECL parts top out around 4 Gbps (Section 3)");
+  ChannelConfig config;
+  config.rate = rate;
+  config.design_name = "optical-testbed-tx";
+  config.serializer = pecl::SerializerTree::testbed_8to1();
+
+  // Two cascaded poles at this setting plus the SMA hookup land the
+  // *measured* 20-80 % transition in the 70-75 ps band (Fig 6).
+  config.buffer.rise_2080 = Picoseconds{60.0};
+  config.buffer.rj_sigma = Picoseconds{2.4};
+  config.buffer.levels = sig::PeclLevels{};     // LVPECL rails
+
+  // Half-rate clock keeps the RF source inside its 0.5-2.5 GHz range.
+  config.clock.frequency = Gigahertz{rate.gbps() / 2.0};
+  config.clock.rj_sigma = Picoseconds{1.0};
+
+  config.hookup = sig::Channel::sma_cable().config();
+  return config;
+}
+
+ChannelConfig minitester(GbitsPerSec rate) {
+  MGT_CHECK(rate.gbps() > 0.0 && rate.gbps() <= 5.2,
+            "mini-tester tops out at 5 Gbps (Section 4)");
+  ChannelConfig config;
+  config.rate = rate;
+  config.design_name = "minitester-wlp";
+  config.serializer = pecl::SerializerTree::minitester_16to1();
+
+  // Slower differential I/O buffers: measured 20-80 % rise ~120 ps
+  // through the compliant-lead hookup (Fig 18).
+  config.buffer.rise_2080 = Picoseconds{100.0};
+  config.buffer.rj_sigma = Picoseconds{2.6};
+  config.buffer.levels = sig::PeclLevels{};
+
+  config.clock.frequency = Gigahertz{std::max(0.5, rate.gbps() / 4.0)};
+  config.clock.rj_sigma = Picoseconds{1.0};
+
+  config.hookup = sig::Channel::compliant_lead().config();
+  return config;
+}
+
+}  // namespace mgt::core::presets

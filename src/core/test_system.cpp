@@ -1,0 +1,226 @@
+#include "core/test_system.hpp"
+
+#include <algorithm>
+
+#include "digital/bitstream.hpp"
+#include "digital/jtag.hpp"
+#include "digital/pattern.hpp"
+#include "signal/render.hpp"
+#include "signal/sinks.hpp"
+#include "util/error.hpp"
+
+namespace mgt::core {
+
+namespace {
+
+constexpr std::uint8_t kUsbAddress = 5;
+
+/// Rails as seen at the measurement point after channel attenuation.
+sig::PeclLevels effective_levels(const sig::PeclLevels& levels, double gain) {
+  return sig::attenuated(levels, gain);
+}
+
+}  // namespace
+
+std::vector<Picoseconds> Stimulus::boundary_grid(std::size_t n) const {
+  std::vector<Picoseconds> grid;
+  grid.reserve(n + 1);
+  for (std::size_t k = 0; k <= n; ++k) {
+    grid.push_back(Picoseconds{t0.ps() + static_cast<double>(k) * ui.ps()});
+  }
+  return grid;
+}
+
+TestSystem::TestSystem(ChannelConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      flash_(),
+      dlc_(config.dlc_spec),
+      usb_device_(kUsbAddress, dlc_.usb_handler()),
+      usb_host_(usb_device_),
+      clock_(config.clock, rng_.fork()),
+      serializer_(config.serializer, rng_.fork()),
+      buffer_(config.buffer, rng_.fork()),
+      hookup_(config.hookup) {
+  // Boot exactly the way the hardware does: the personalization image is
+  // programmed into FLASH through the IEEE 1149.1 port, then the FPGA
+  // loads it at power-up.
+  dig::Bitstream bitstream;
+  bitstream.design_name = config_.design_name;
+  bitstream.payload.assign(1024, 0xA5);
+  const auto image = bitstream.serialize();
+
+  dig::TapDevice tap(0x2005DA7Eu, &flash_);
+  dig::JtagHost jtag(tap);
+  jtag.program_flash_image(0, image, flash_.sector_size());
+  dlc_.boot_from_flash(flash_, 0, image.size());
+
+  // Tell the DLC how wide the serializer is (the personalization fixes
+  // this in real hardware).
+  usb_host_.write_register(dig::reg::kLaneCount,
+                           static_cast<std::uint32_t>(serializer_.total_lanes()));
+  const auto lane_rate = dlc_.check_lane_rate(config_.rate);
+  usb_host_.write_register(dig::reg::kLaneRateMbps,
+                           static_cast<std::uint32_t>(lane_rate.mbps()));
+}
+
+void TestSystem::program_prbs(unsigned order, std::uint64_t seed) {
+  usb_host_.write_register(dig::reg::kPrbsOrder, order);
+  usb_host_.write_register(dig::reg::kSeedLo,
+                           static_cast<std::uint32_t>(seed & 0xFFFFFFFF));
+  usb_host_.write_register(dig::reg::kSeedHi,
+                           static_cast<std::uint32_t>(seed >> 32));
+  usb_host_.write_register(dig::reg::kCtrl, 0);  // PRBS mode
+}
+
+void TestSystem::program_pattern(const BitVector& pattern) {
+  MGT_CHECK(!pattern.empty());
+  usb_host_.write_register(dig::reg::kPatternAddr, 0);
+  for (std::size_t w = 0; w * 32 < pattern.size(); ++w) {
+    std::uint32_t word = 0;
+    for (std::size_t b = 0; b < 32 && w * 32 + b < pattern.size(); ++b) {
+      word |= static_cast<std::uint32_t>(pattern.get(w * 32 + b)) << b;
+    }
+    usb_host_.write_register(dig::reg::kPatternData, word);
+  }
+  usb_host_.write_register(dig::reg::kPatternLen,
+                           static_cast<std::uint32_t>(pattern.size()));
+  usb_host_.write_register(dig::reg::kCtrl, dig::reg::kCtrlModePattern);
+}
+
+void TestSystem::start() {
+  const std::uint32_t mode =
+      usb_host_.read_register(dig::reg::kCtrl) & dig::reg::kCtrlModePattern;
+  usb_host_.write_register(dig::reg::kCtrl, mode | dig::reg::kCtrlStart);
+}
+
+void TestSystem::stop() {
+  const std::uint32_t mode =
+      usb_host_.read_register(dig::reg::kCtrl) & dig::reg::kCtrlModePattern;
+  usb_host_.write_register(dig::reg::kCtrl, mode | dig::reg::kCtrlStop);
+}
+
+Stimulus TestSystem::generate(std::size_t n_bits) {
+  MGT_CHECK(dlc_.status() == dig::reg::kStatusRunning,
+            "start() the system before generating stimulus");
+  const std::size_t lanes = serializer_.total_lanes();
+  MGT_CHECK(n_bits % lanes == 0,
+            "bit count must be a multiple of the serializer width");
+
+  // The DLC emits the parallel lane streams (rate-checked), the serializer
+  // re-interleaves them with its timing signature.
+  const auto lane_streams = dlc_.generate_lanes(n_bits, config_.rate);
+  const BitVector bits = BitVector::interleave(lane_streams);
+
+  Stimulus out;
+  out.bits = bits;
+  out.ui = config_.rate.unit_interval();
+  out.edges = hookup_.propagate(
+      buffer_.apply(serializer_.serialize(bits, config_.rate)));
+  out.levels = buffer_.levels();
+
+  buffer_.contribute(out.chain);
+  hookup_.contribute(out.chain, out.levels.midpoint());
+
+  // The bit-boundary grid at the measurement plane includes the analog
+  // cascade's group delay (edges rendered through the chain lag by it).
+  out.t0 = serializer_.total_prop_delay() + buffer_.config().prop_delay +
+           Picoseconds{hookup_.config().delay.ps()} + out.chain.group_delay();
+  return out;
+}
+
+void TestSystem::render_stimulus(const Stimulus& stimulus, std::size_t n_bits,
+                                 const EyeOptions& options,
+                                 const std::vector<sig::WaveformSink*>& sinks) {
+  const Picoseconds t_begin{
+      stimulus.t0.ps() + static_cast<double>(options.warmup_bits) *
+                             stimulus.ui.ps()};
+  const Picoseconds t_end{
+      stimulus.t0.ps() + static_cast<double>(n_bits) * stimulus.ui.ps()};
+  sig::RenderConfig render_config{.levels = stimulus.levels,
+                                  .sample_step = options.sample_step};
+  sig::render(stimulus.edges, stimulus.chain, render_config, t_begin, t_end,
+              sinks);
+}
+
+ana::EyeDiagram TestSystem::acquire_eye(std::size_t n_bits,
+                                        EyeOptions options) {
+  Stimulus stimulus = generate(n_bits);
+  const sig::PeclLevels rails =
+      effective_levels(stimulus.levels, stimulus.chain.gain());
+  const double margin = 0.25 * rails.swing().mv();
+  ana::EyeDiagram::Config config{
+      .ui = stimulus.ui,
+      .t_ref = stimulus.t0,
+      .v_lo = Millivolts{rails.vol.mv() - margin},
+      .v_hi = Millivolts{rails.voh.mv() + margin},
+      .threshold = rails.midpoint(),
+      .time_bins = options.time_bins,
+      .volt_bins = options.volt_bins,
+  };
+  ana::EyeDiagram eye(config);
+  render_stimulus(stimulus, n_bits, options, {&eye});
+  return eye;
+}
+
+ana::EyeMetrics TestSystem::measure_eye(std::size_t n_bits,
+                                        EyeOptions options) {
+  return acquire_eye(n_bits, options).metrics();
+}
+
+TestSystem::RiseFall TestSystem::measure_risefall(std::size_t n_bits,
+                                                  EyeOptions options) {
+  Stimulus stimulus = generate(n_bits);
+  const sig::PeclLevels rails =
+      effective_levels(stimulus.levels, stimulus.chain.gain());
+  ana::RiseFallMeter meter(rails.vol, rails.voh);
+  render_stimulus(stimulus, n_bits, options, {&meter});
+  RiseFall out;
+  out.rise_mean = meter.mean_rise();
+  out.rise_min = Picoseconds{meter.rise().min()};
+  out.rise_max = Picoseconds{meter.rise().max()};
+  out.fall_mean = meter.mean_fall();
+  out.fall_min = Picoseconds{meter.fall().min()};
+  out.fall_max = Picoseconds{meter.fall().max()};
+  out.rise_count = meter.rise().count();
+  out.fall_count = meter.fall().count();
+  return out;
+}
+
+ana::CrossoverJitter TestSystem::measure_single_edge_jitter(
+    std::size_t n_edges, bool rising) {
+  // One isolated edge per pattern period, always sourced from the same mux
+  // input on every stage, so skew and data history repeat exactly: the
+  // spread that remains is the chain's random jitter (Fig 9).
+  const std::size_t lanes = serializer_.total_lanes();
+  program_pattern(dig::patterns::square(2 * lanes, lanes));
+  start();
+  const std::size_t n_bits = n_edges * 2 * lanes;
+  Stimulus stimulus = generate(n_bits);
+
+  const sig::PeclLevels rails =
+      effective_levels(stimulus.levels, stimulus.chain.gain());
+  sig::CrossingRecorder recorder(rails.midpoint());
+  render_stimulus(stimulus, n_bits, EyeOptions{}, {&recorder});
+
+  const Picoseconds pattern_period{2.0 * static_cast<double>(lanes) *
+                                   stimulus.ui.ps()};
+  return ana::measure_edge_jitter(recorder.crossings(), pattern_period,
+                                  rising, stimulus.t0);
+}
+
+TestSystem::Amplitude TestSystem::measure_amplitude(std::size_t n_bits,
+                                                    EyeOptions options) {
+  Stimulus stimulus = generate(n_bits);
+  const sig::PeclLevels rails =
+      effective_levels(stimulus.levels, stimulus.chain.gain());
+  sig::AmplitudeTracker tracker(rails.midpoint());
+  render_stimulus(stimulus, n_bits, options, {&tracker});
+  Amplitude out;
+  out.settled_high = tracker.settled_high();
+  out.settled_low = tracker.settled_low();
+  out.peak_to_peak = tracker.peak_to_peak();
+  return out;
+}
+
+}  // namespace mgt::core

@@ -1,0 +1,58 @@
+#include "digital/flash.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::dig {
+
+FlashMemory::FlashMemory(std::size_t sectors, std::size_t sector_size)
+    : sectors_(sectors), sector_size_(sector_size),
+      bytes_(sectors * sector_size, 0xFF), wear_(sectors, 0) {
+  MGT_CHECK(sectors > 0 && sector_size > 0);
+}
+
+std::uint8_t FlashMemory::read(std::size_t addr) const {
+  MGT_CHECK(addr < bytes_.size(), "flash read out of range");
+  return bytes_[addr];
+}
+
+void FlashMemory::program(std::size_t addr, std::uint8_t value) {
+  MGT_CHECK(addr < bytes_.size(), "flash program out of range");
+  bytes_[addr] &= value;  // NOR flash: programming only clears bits
+}
+
+void FlashMemory::erase_sector(std::size_t sector) {
+  MGT_CHECK(sector < sectors_, "flash erase out of range");
+  const std::size_t base = sector * sector_size_;
+  for (std::size_t i = 0; i < sector_size_; ++i) {
+    bytes_[base + i] = 0xFF;
+  }
+  ++wear_[sector];
+}
+
+std::uint32_t FlashMemory::wear(std::size_t sector) const {
+  MGT_CHECK(sector < sectors_);
+  return wear_[sector];
+}
+
+void FlashMemory::write_image(std::size_t addr,
+                              const std::vector<std::uint8_t>& image) {
+  MGT_CHECK(addr + image.size() <= bytes_.size(),
+            "flash image exceeds device size");
+  const std::size_t first_sector = addr / sector_size_;
+  const std::size_t last_sector = (addr + image.size() - 1) / sector_size_;
+  for (std::size_t s = first_sector; s <= last_sector; ++s) {
+    erase_sector(s);
+  }
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    program(addr + i, image[i]);
+  }
+}
+
+std::vector<std::uint8_t> FlashMemory::read_image(std::size_t addr,
+                                                  std::size_t len) const {
+  MGT_CHECK(addr + len <= bytes_.size(), "flash read_image out of range");
+  return {bytes_.begin() + static_cast<std::ptrdiff_t>(addr),
+          bytes_.begin() + static_cast<std::ptrdiff_t>(addr + len)};
+}
+
+}  // namespace mgt::dig

@@ -1,0 +1,52 @@
+#include "digital/lfsr.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::dig {
+
+Lfsr::Lfsr(unsigned degree, unsigned tap, std::uint64_t seed)
+    : degree_(degree), tap_(tap) {
+  MGT_CHECK(degree >= 2 && degree <= 63, "LFSR degree out of range");
+  MGT_CHECK(tap >= 1 && tap < degree, "LFSR tap out of range");
+  mask_ = (1ULL << degree_) - 1;
+  state_ = seed & mask_;
+  if (state_ == 0) {
+    state_ = mask_;  // the all-zero state is the lock-up state
+  }
+}
+
+bool Lfsr::next() {
+  const bool fb = (((state_ >> (degree_ - 1)) ^ (state_ >> (tap_ - 1))) & 1ULL) != 0;
+  state_ = ((state_ << 1) | static_cast<std::uint64_t>(fb)) & mask_;
+  return fb;
+}
+
+BitVector Lfsr::generate(std::size_t n) {
+  BitVector out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.set(i, next());
+  }
+  return out;
+}
+
+Lfsr Lfsr::prbs7(std::uint64_t seed) { return Lfsr{7, 6, seed}; }
+Lfsr Lfsr::prbs15(std::uint64_t seed) { return Lfsr{15, 14, seed}; }
+Lfsr Lfsr::prbs23(std::uint64_t seed) { return Lfsr{23, 18, seed}; }
+Lfsr Lfsr::prbs31(std::uint64_t seed) { return Lfsr{31, 28, seed}; }
+
+Lfsr Lfsr::prbs(unsigned order, std::uint64_t seed) {
+  switch (order) {
+    case 7:
+      return prbs7(seed);
+    case 15:
+      return prbs15(seed);
+    case 23:
+      return prbs23(seed);
+    case 31:
+      return prbs31(seed);
+    default:
+      throw Error("unsupported PRBS order (use 7, 15, 23 or 31)");
+  }
+}
+
+}  // namespace mgt::dig

@@ -1,0 +1,51 @@
+// Linear-feedback shift registers.
+//
+// The DLC synthesizes pseudo-random bit patterns with LFSRs in the FPGA
+// fabric (the paper's Fig 7 eye uses "a pseudo-random bit pattern produced
+// by an LFSR in the DLC"). Fibonacci form, x^n + x^k + 1 feedback.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace mgt::dig {
+
+/// Fibonacci LFSR over GF(2) with two-tap feedback x^degree + x^tap + 1.
+class Lfsr {
+public:
+  /// `degree` in [2, 63], `tap` in [1, degree-1], nonzero `seed` (only the
+  /// low `degree` bits are used; a zero seed is replaced by all-ones).
+  Lfsr(unsigned degree, unsigned tap, std::uint64_t seed = ~0ULL);
+
+  /// Advances one step and returns the output bit.
+  bool next();
+
+  /// Generates n successive output bits.
+  BitVector generate(std::size_t n);
+
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  [[nodiscard]] unsigned degree() const { return degree_; }
+
+  /// Maximal sequence length for this degree: 2^degree - 1.
+  [[nodiscard]] std::uint64_t max_period() const {
+    return (1ULL << degree_) - 1;
+  }
+
+  // Standard ITU-T O.150 PRBS generators (maximal-length polynomials).
+  static Lfsr prbs7(std::uint64_t seed = ~0ULL);   // x^7 + x^6 + 1
+  static Lfsr prbs15(std::uint64_t seed = ~0ULL);  // x^15 + x^14 + 1
+  static Lfsr prbs23(std::uint64_t seed = ~0ULL);  // x^23 + x^18 + 1
+  static Lfsr prbs31(std::uint64_t seed = ~0ULL);  // x^31 + x^28 + 1
+
+  /// PRBS generator by order; accepts 7, 15, 23 or 31.
+  static Lfsr prbs(unsigned order, std::uint64_t seed = ~0ULL);
+
+private:
+  unsigned degree_;
+  unsigned tap_;
+  std::uint64_t state_;
+  std::uint64_t mask_;
+};
+
+}  // namespace mgt::dig

@@ -1,0 +1,62 @@
+#include "digital/pattern.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::dig {
+
+PatternMemory::PatternMemory(std::size_t depth_bits) : depth_(depth_bits) {
+  MGT_CHECK(depth_bits > 0);
+}
+
+void PatternMemory::load(const BitVector& pattern) {
+  MGT_CHECK(pattern.size() <= depth_,
+            "pattern exceeds pattern-memory depth");
+  MGT_CHECK(!pattern.empty(), "cannot load an empty pattern");
+  pattern_ = pattern;
+}
+
+BitVector PatternMemory::read(std::size_t n) const {
+  MGT_CHECK(!pattern_.empty(), "pattern memory is empty");
+  BitVector out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.set(i, pattern_.get(i % pattern_.size()));
+  }
+  return out;
+}
+
+namespace patterns {
+
+BitVector alternating(std::size_t n, bool first) {
+  return BitVector::alternating(n, first);
+}
+
+BitVector square(std::size_t n, std::size_t half_period) {
+  MGT_CHECK(half_period > 0);
+  BitVector out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.set(i, (i / half_period) % 2 == 1);
+  }
+  return out;
+}
+
+BitVector walking_one(std::size_t n, std::size_t width) {
+  MGT_CHECK(width > 0);
+  BitVector out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.set(i, i % width == (i / width) % width);
+  }
+  return out;
+}
+
+BitVector comma(std::size_t n) {
+  static const char* kCell = "11000001010011111010";
+  BitVector out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.set(i, kCell[i % 20] == '1');
+  }
+  return out;
+}
+
+}  // namespace patterns
+
+}  // namespace mgt::dig

@@ -1,0 +1,58 @@
+// Pattern storage and algorithmic pattern generation.
+//
+// The DLC stores explicit test vectors in FPGA block RAM (and optionally
+// external SRAM, Section 2) and can synthesize algorithmic patterns in
+// state machines when storage would be infeasible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace mgt::dig {
+
+/// Per-channel pattern memory with a hardware depth limit.
+class PatternMemory {
+public:
+  /// `depth_bits` models the BRAM budget per channel (XC2V1000-class FPGAs
+  /// have 40 BlockRAMs of 18 kbit; a handful per channel is realistic).
+  explicit PatternMemory(std::size_t depth_bits = 64 * 1024);
+
+  /// Loads a pattern; throws if it exceeds the depth limit.
+  void load(const BitVector& pattern);
+
+  [[nodiscard]] const BitVector& pattern() const { return pattern_; }
+  [[nodiscard]] std::size_t depth_bits() const { return depth_; }
+  [[nodiscard]] bool empty() const { return pattern_.empty(); }
+
+  /// Reads out n bits, looping the stored pattern (hardware loop counter).
+  [[nodiscard]] BitVector read(std::size_t n) const;
+
+private:
+  std::size_t depth_;
+  BitVector pattern_;
+};
+
+/// Algorithmic pattern generators implementable as small FPGA state
+/// machines (used when pattern storage is not feasible, Section 2).
+namespace patterns {
+
+/// 0101... clock-like pattern.
+BitVector alternating(std::size_t n, bool first = false);
+
+/// K consecutive ones followed by K zeros, repeated (low-frequency content
+/// for testing baseline wander / amplitude settling).
+BitVector square(std::size_t n, std::size_t half_period);
+
+/// Walking one across a `width`-bit word, repeated to n bits.
+BitVector walking_one(std::size_t n, std::size_t width);
+
+/// Pseudo-random "K28.5-like" comma pattern stressing run-length extremes:
+/// 1100000101 0011111010 repeated.
+BitVector comma(std::size_t n);
+
+}  // namespace patterns
+
+}  // namespace mgt::dig

@@ -1,0 +1,69 @@
+#include "digital/registers.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::dig {
+
+void RegisterFile::define(std::uint16_t addr, std::uint32_t reset_value) {
+  MGT_CHECK(!defined(addr), "register already defined");
+  Entry entry;
+  entry.value = reset_value;
+  regs_[addr] = std::move(entry);
+}
+
+void RegisterFile::define_ro(std::uint16_t addr, std::uint32_t value) {
+  MGT_CHECK(!defined(addr), "register already defined");
+  Entry entry;
+  entry.value = value;
+  entry.read_only = true;
+  regs_[addr] = std::move(entry);
+}
+
+void RegisterFile::on_write(std::uint16_t addr, WriteHook hook) {
+  auto it = regs_.find(addr);
+  MGT_CHECK(it != regs_.end(), "hook on undefined register");
+  it->second.write_hook = std::move(hook);
+}
+
+void RegisterFile::on_read(std::uint16_t addr, ReadHook hook) {
+  auto it = regs_.find(addr);
+  MGT_CHECK(it != regs_.end(), "hook on undefined register");
+  it->second.read_hook = std::move(hook);
+}
+
+void RegisterFile::write(std::uint16_t addr, std::uint32_t value) {
+  auto it = regs_.find(addr);
+  if (it == regs_.end()) {
+    throw Error("write to undefined register 0x" + std::to_string(addr));
+  }
+  if (it->second.read_only) {
+    throw Error("write to read-only register 0x" + std::to_string(addr));
+  }
+  it->second.value = value;
+  if (it->second.write_hook) {
+    it->second.write_hook(addr, value);
+  }
+}
+
+std::uint32_t RegisterFile::read(std::uint16_t addr) const {
+  auto it = regs_.find(addr);
+  if (it == regs_.end()) {
+    throw Error("read of undefined register 0x" + std::to_string(addr));
+  }
+  if (it->second.read_hook) {
+    return it->second.read_hook(addr);
+  }
+  return it->second.value;
+}
+
+void RegisterFile::poke(std::uint16_t addr, std::uint32_t value) {
+  auto it = regs_.find(addr);
+  MGT_CHECK(it != regs_.end(), "poke of undefined register");
+  it->second.value = value;
+}
+
+bool RegisterFile::defined(std::uint16_t addr) const {
+  return regs_.contains(addr);
+}
+
+}  // namespace mgt::dig

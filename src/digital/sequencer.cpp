@@ -1,0 +1,128 @@
+#include "digital/sequencer.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::dig {
+
+namespace seq {
+SeqInstruction emit_literal(std::uint32_t bits, std::uint32_t count) {
+  return {SeqOp::EmitLiteral, bits, count};
+}
+SeqInstruction emit_pattern(std::uint32_t bank, std::uint32_t reps) {
+  return {SeqOp::EmitPattern, bank, reps};
+}
+SeqInstruction loop_begin(std::uint32_t count) {
+  return {SeqOp::LoopBegin, count, 0};
+}
+SeqInstruction loop_end() { return {SeqOp::LoopEnd, 0, 0}; }
+SeqInstruction call(std::uint32_t target) { return {SeqOp::Call, target, 0}; }
+SeqInstruction ret() { return {SeqOp::Ret, 0, 0}; }
+SeqInstruction halt() { return {SeqOp::Halt, 0, 0}; }
+}  // namespace seq
+
+TestSequencer::TestSequencer(std::vector<SeqInstruction> program,
+                             std::map<std::uint32_t, BitVector> pattern_banks,
+                             SequencerLimits limits)
+    : program_(std::move(program)), banks_(std::move(pattern_banks)),
+      limits_(limits) {
+  MGT_CHECK(!program_.empty(), "empty sequencer program");
+}
+
+BitVector TestSequencer::run() {
+  struct LoopFrame {
+    std::size_t body_start;   // instruction after LoopBegin
+    std::uint32_t remaining;  // iterations left
+  };
+  std::vector<LoopFrame> loops;
+  std::vector<std::size_t> calls;
+  BitVector out;
+  std::size_t pc = 0;
+  steps_ = 0;
+
+  auto emit_check = [&](std::size_t extra) {
+    if (out.size() + extra > limits_.max_output_bits) {
+      throw Error("sequencer output exceeds limit");
+    }
+  };
+
+  while (true) {
+    if (pc >= program_.size()) {
+      throw Error("sequencer ran off the end (missing Halt)");
+    }
+    if (++steps_ > limits_.max_steps) {
+      throw Error("sequencer watchdog: runaway program");
+    }
+    const SeqInstruction& ins = program_[pc];
+    switch (ins.op) {
+      case SeqOp::EmitLiteral: {
+        MGT_CHECK(ins.b >= 1 && ins.b <= 32,
+                  "literal emits 1..32 bits");
+        emit_check(ins.b);
+        for (std::uint32_t i = 0; i < ins.b; ++i) {
+          out.push_back((ins.a >> i) & 1u);
+        }
+        ++pc;
+        break;
+      }
+      case SeqOp::EmitPattern: {
+        const auto it = banks_.find(ins.a);
+        if (it == banks_.end()) {
+          throw Error("sequencer references missing pattern bank");
+        }
+        MGT_CHECK(ins.b >= 1, "pattern repetition count must be >= 1");
+        emit_check(it->second.size() * ins.b);
+        for (std::uint32_t rep = 0; rep < ins.b; ++rep) {
+          out.append(it->second);
+        }
+        ++pc;
+        break;
+      }
+      case SeqOp::LoopBegin: {
+        MGT_CHECK(ins.a >= 1, "loop count must be >= 1");
+        if (loops.size() >= limits_.loop_stack_depth) {
+          throw Error("sequencer loop stack overflow");
+        }
+        loops.push_back(LoopFrame{pc + 1, ins.a});
+        ++pc;
+        break;
+      }
+      case SeqOp::LoopEnd: {
+        if (loops.empty()) {
+          throw Error("LoopEnd without LoopBegin");
+        }
+        if (--loops.back().remaining == 0) {
+          loops.pop_back();
+          ++pc;
+        } else {
+          pc = loops.back().body_start;
+        }
+        break;
+      }
+      case SeqOp::Call: {
+        if (calls.size() >= limits_.call_stack_depth) {
+          throw Error("sequencer call stack overflow");
+        }
+        MGT_CHECK(ins.a < program_.size(), "call target out of range");
+        calls.push_back(pc + 1);
+        pc = ins.a;
+        break;
+      }
+      case SeqOp::Ret: {
+        if (calls.empty()) {
+          throw Error("Ret without Call");
+        }
+        pc = calls.back();
+        calls.pop_back();
+        break;
+      }
+      case SeqOp::Halt: {
+        if (!loops.empty()) {
+          throw Error("Halt inside an open loop");
+        }
+        return out;
+      }
+    }
+  }
+}
+
+}  // namespace mgt::dig

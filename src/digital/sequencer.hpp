@@ -1,0 +1,75 @@
+// Microcoded test sequencer.
+//
+// Section 2: "State machines encoded in the FPGA ... synthesize the
+// desired tests in real time" — the alternative to storing every vector.
+// This is a small microcoded engine of the kind those state machines
+// implement: literal emission, references into pattern banks, hardware
+// loop counters with a nesting stack, and subroutines. A runaway guard
+// bounds execution the way a watchdog would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace mgt::dig {
+
+enum class SeqOp : std::uint8_t {
+  EmitLiteral,   // emit `count` (=b) bits of the literal in `a`, LSB first
+  EmitPattern,   // emit pattern bank a, b repetitions
+  LoopBegin,     // a = iteration count
+  LoopEnd,
+  Call,          // a = target instruction index
+  Ret,
+  Halt,
+};
+
+struct SeqInstruction {
+  SeqOp op = SeqOp::Halt;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Assembler-style helpers.
+namespace seq {
+SeqInstruction emit_literal(std::uint32_t bits, std::uint32_t count);
+SeqInstruction emit_pattern(std::uint32_t bank, std::uint32_t reps = 1);
+SeqInstruction loop_begin(std::uint32_t count);
+SeqInstruction loop_end();
+SeqInstruction call(std::uint32_t target);
+SeqInstruction ret();
+SeqInstruction halt();
+}  // namespace seq
+
+/// Hardware resource bounds of the sequencer engine.
+struct SequencerLimits {
+  std::size_t loop_stack_depth = 8;   // hardware loop counters
+  std::size_t call_stack_depth = 4;
+  std::size_t max_output_bits = 1 << 24;
+  std::size_t max_steps = 1 << 22;    // runaway watchdog
+};
+
+class TestSequencer {
+public:
+  TestSequencer(std::vector<SeqInstruction> program,
+                std::map<std::uint32_t, BitVector> pattern_banks = {},
+                SequencerLimits limits = {});
+
+  /// Executes from instruction 0 to Halt; returns the emitted bit stream.
+  /// Throws mgt::Error on malformed programs (unmatched LoopEnd, stack
+  /// overflow, missing bank, watchdog timeout, missing Halt).
+  BitVector run();
+
+  [[nodiscard]] std::size_t steps_executed() const { return steps_; }
+
+private:
+  std::vector<SeqInstruction> program_;
+  std::map<std::uint32_t, BitVector> banks_;
+  SequencerLimits limits_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace mgt::dig

@@ -1,0 +1,98 @@
+#include "digital/sram.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::dig {
+
+SyncSram::SyncSram(Config config)
+    : config_(config), mem_(config.depth_words, 0) {
+  MGT_CHECK(config_.depth_words > 0);
+}
+
+std::optional<std::uint32_t> SyncSram::clock(
+    const std::optional<Command>& cmd) {
+  ++cycles_;
+  if (cmd.has_value()) {
+    MGT_CHECK(cmd->address < mem_.size(), "SRAM address out of range");
+    if (cmd->write) {
+      mem_[cmd->address] = cmd->data;
+    } else {
+      pipeline_.push_back(
+          Inflight{cycles_ + config_.read_latency, mem_[cmd->address]});
+    }
+  }
+  if (!pipeline_.empty() && pipeline_.front().ready_cycle <= cycles_) {
+    const std::uint32_t data = pipeline_.front().data;
+    pipeline_.pop_front();
+    return data;
+  }
+  return std::nullopt;
+}
+
+void SyncSram::write_word(std::uint32_t address, std::uint32_t data) {
+  clock(Command{.write = true, .address = address, .data = data});
+}
+
+std::uint32_t SyncSram::read_word(std::uint32_t address) {
+  auto result = clock(Command{.write = false, .address = address});
+  while (!result.has_value()) {
+    result = clock(std::nullopt);
+  }
+  return *result;
+}
+
+std::uint64_t SramPatternStore::store(std::uint32_t base,
+                                      const BitVector& pattern) {
+  MGT_CHECK(!pattern.empty());
+  const std::size_t words = (pattern.size() + 31) / 32;
+  MGT_CHECK((base + words) * 32 <= capacity_bits(),
+            "pattern exceeds SRAM capacity");
+  const std::uint64_t start = sram_.cycles();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint32_t word = 0;
+    for (std::size_t b = 0; b < 32 && w * 32 + b < pattern.size(); ++b) {
+      word |= static_cast<std::uint32_t>(pattern.get(w * 32 + b)) << b;
+    }
+    sram_.write_word(base + static_cast<std::uint32_t>(w), word);
+  }
+  return sram_.cycles() - start;
+}
+
+BitVector SramPatternStore::load(std::uint32_t base, std::size_t bits,
+                                 std::uint64_t* cycles_out) {
+  MGT_CHECK(bits > 0);
+  const std::size_t words = (bits + 31) / 32;
+  MGT_CHECK((base + words) * 32 <= capacity_bits(),
+            "load exceeds SRAM capacity");
+  const std::uint64_t start = sram_.cycles();
+
+  // Fully pipelined streaming read: issue a command every cycle and drain
+  // the returning data, so N words cost N + latency cycles.
+  BitVector out(bits);
+  std::size_t issued = 0;
+  std::size_t received = 0;
+  while (received < words) {
+    std::optional<SyncSram::Command> cmd;
+    if (issued < words) {
+      cmd = SyncSram::Command{.write = false,
+                              .address = base + static_cast<std::uint32_t>(issued)};
+      ++issued;
+    }
+    const auto data = sram_.clock(cmd);
+    if (data.has_value()) {
+      for (std::size_t b = 0; b < 32; ++b) {
+        const std::size_t idx = received * 32 + b;
+        if (idx < bits) {
+          out.set(idx, (*data >> b) & 1u);
+        }
+      }
+      ++received;
+    }
+  }
+  if (cycles_out != nullptr) {
+    *cycles_out += sram_.cycles() - start;
+  }
+  return out;
+}
+
+}  // namespace mgt::dig

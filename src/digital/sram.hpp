@@ -1,0 +1,84 @@
+// External pattern SRAM.
+//
+// Section 2: "A high-speed port to optional SRAM is also part of the
+// design ... The SRAM can provide extended test pattern storage when
+// algorithmic pattern generation is not feasible." This models a
+// ZBT-style pipelined synchronous SRAM: one command per clock, reads
+// return data a fixed number of cycles later, and a pattern-store adapter
+// streams BitVectors through the port.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace mgt::dig {
+
+/// Pipelined synchronous SRAM.
+class SyncSram {
+public:
+  struct Config {
+    std::size_t depth_words = 512 * 1024;  // 512K x 32 = 16 Mbit
+    std::size_t read_latency = 2;          // cycles from command to data
+  };
+
+  SyncSram() : SyncSram(Config{}) {}
+  explicit SyncSram(Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  /// One port command.
+  struct Command {
+    bool write = false;
+    std::uint32_t address = 0;
+    std::uint32_t data = 0;  // write data
+  };
+
+  /// Advances one clock. Presents `cmd` (or none for an idle cycle);
+  /// returns read data whose latency expires this cycle.
+  std::optional<std::uint32_t> clock(const std::optional<Command>& cmd);
+
+  /// Convenience blocking helpers (burn the pipeline latency internally).
+  void write_word(std::uint32_t address, std::uint32_t data);
+  [[nodiscard]] std::uint32_t read_word(std::uint32_t address);
+
+private:
+  Config config_;
+  std::vector<std::uint32_t> mem_;
+  struct Inflight {
+    std::uint64_t ready_cycle;
+    std::uint32_t data;
+  };
+  std::deque<Inflight> pipeline_;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Pattern storage on top of the SRAM port: streams whole bit patterns in
+/// and out 32 bits per cycle, with cycle accounting so tests can verify
+/// the port bandwidth math (e.g. a 64-lane pattern refill budget).
+class SramPatternStore {
+public:
+  explicit SramPatternStore(SyncSram& sram) : sram_(sram) {}
+
+  /// Capacity in pattern bits.
+  [[nodiscard]] std::size_t capacity_bits() const {
+    return sram_.config().depth_words * 32;
+  }
+
+  /// Writes `pattern` starting at word `base`; returns cycles consumed.
+  std::uint64_t store(std::uint32_t base, const BitVector& pattern);
+
+  /// Reads `bits` pattern bits starting at word `base`; returns the
+  /// pattern and adds the cycles consumed to `cycles_out` if non-null.
+  BitVector load(std::uint32_t base, std::size_t bits,
+                 std::uint64_t* cycles_out = nullptr);
+
+private:
+  SyncSram& sram_;
+};
+
+}  // namespace mgt::dig

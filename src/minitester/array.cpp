@@ -1,0 +1,59 @@
+#include "minitester/array.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::minitester {
+
+TesterArray::TesterArray(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  MGT_CHECK(config_.testers >= 1);
+  MGT_CHECK(config_.defect_rate >= 0.0 && config_.defect_rate <= 1.0);
+}
+
+double TesterArray::wafer_time_s(std::size_t n_dies, std::size_t n_testers,
+                                 double touchdown_overhead_s,
+                                 double per_die_test_s) {
+  MGT_CHECK(n_testers >= 1);
+  const std::size_t touchdowns = (n_dies + n_testers - 1) / n_testers;
+  // Sites within a touchdown run in parallel, so a touchdown costs one
+  // die-test time plus the mechanical overhead.
+  return static_cast<double>(touchdowns) *
+         (touchdown_overhead_s + per_die_test_s);
+}
+
+TesterArray::WaferResult TesterArray::probe_wafer(std::size_t n_dies) {
+  WaferResult out;
+  out.dies = n_dies;
+  out.touchdowns = (n_dies + config_.testers - 1) / config_.testers;
+  out.total_time_s =
+      wafer_time_s(n_dies, config_.testers, config_.touchdown_overhead_s,
+                   config_.per_die_test_s);
+
+  static const Defect kDefects[] = {Defect::StuckLow, Defect::StuckHigh,
+                                    Defect::SlowLead, Defect::WeakDrive};
+
+  for (std::size_t die = 0; die < n_dies; ++die) {
+    const bool defective = rng_.chance(config_.defect_rate);
+    MiniTester::Config site = config_.site;
+    site.dut.defect =
+        defective ? kDefects[rng_.below(std::size(kDefects))] : Defect::None;
+
+    MiniTester tester(site, rng_.next());
+    tester.program_prbs(7, 0xACE1F00Dull + die);
+    tester.start();
+    const bool pass = tester.run_bist(config_.bist_bits).pass();
+
+    if (!pass) {
+      ++out.fails;
+    }
+    if (defective && pass) {
+      ++out.escapes;
+    }
+    if (!defective && !pass) {
+      ++out.overkills;
+    }
+  }
+  return out;
+}
+
+}  // namespace mgt::minitester

@@ -1,0 +1,61 @@
+#include "minitester/shmoo.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::minitester {
+
+double Shmoo::pass_fraction(double pass_threshold) const {
+  std::size_t pass = 0;
+  std::size_t total = 0;
+  for (const auto& row : ber) {
+    for (double b : row) {
+      ++total;
+      if (b <= pass_threshold) {
+        ++pass;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(pass) / static_cast<double>(total);
+}
+
+std::string Shmoo::ascii_art(double pass_threshold) const {
+  std::string art;
+  for (auto row = ber.rbegin(); row != ber.rend(); ++row) {
+    for (double b : *row) {
+      if (b <= pass_threshold) {
+        art.push_back('.');
+      } else if (b <= 10.0 * pass_threshold) {
+        art.push_back('x');
+      } else {
+        art.push_back('#');
+      }
+    }
+    art.push_back('\n');
+  }
+  return art;
+}
+
+Shmoo run_shmoo(std::string x_label, std::vector<double> xs,
+                std::string y_label, std::vector<double> ys,
+                const std::function<double(double, double)>& measure) {
+  MGT_CHECK(!xs.empty() && !ys.empty(), "shmoo axes must be non-empty");
+  MGT_CHECK(static_cast<bool>(measure));
+  Shmoo out;
+  out.x_label = std::move(x_label);
+  out.y_label = std::move(y_label);
+  out.xs = std::move(xs);
+  out.ys = std::move(ys);
+  out.ber.reserve(out.ys.size());
+  for (double y : out.ys) {
+    std::vector<double> row;
+    row.reserve(out.xs.size());
+    for (double x : out.xs) {
+      row.push_back(measure(x, y));
+    }
+    out.ber.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace mgt::minitester

@@ -1,0 +1,34 @@
+// Shmoo plots: 2D pass/fail characterization maps.
+//
+// Production bring-up of a tester like this sweeps two parameters (strobe
+// position vs data rate, strobe vs amplitude, ...) and records BER at each
+// grid point; the "shmoo" shape shows the operating region.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mgt::minitester {
+
+/// A 2D sweep result: ber[yi][xi] for ys.size() rows of xs.size() columns.
+struct Shmoo {
+  std::string x_label;
+  std::string y_label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<std::vector<double>> ber;
+
+  /// Fraction of grid points at or below `pass_threshold`.
+  [[nodiscard]] double pass_fraction(double pass_threshold) const;
+
+  /// ASCII rendering: '.' pass, 'x' marginal (< 10x threshold), '#' fail.
+  [[nodiscard]] std::string ascii_art(double pass_threshold) const;
+};
+
+/// Runs a generic shmoo: `measure(x, y)` returns the BER at that point.
+Shmoo run_shmoo(std::string x_label, std::vector<double> xs,
+                std::string y_label, std::vector<double> ys,
+                const std::function<double(double x, double y)>& measure);
+
+}  // namespace mgt::minitester

@@ -1,0 +1,81 @@
+#include "minitester/wafermap.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mgt::minitester {
+
+WaferMap::WaferMap(Config config, Rng rng) : config_(config) {
+  MGT_CHECK(config_.diameter_dies >= 4);
+  const std::size_t n = config_.diameter_dies;
+  defects_.assign(n, std::vector<Defect>(n, Defect::None));
+
+  // Cluster centers (may fall anywhere on the wafer).
+  struct Cluster {
+    double cx, cy;
+  };
+  std::vector<Cluster> clusters;
+  for (std::size_t c = 0; c < config_.cluster_count; ++c) {
+    clusters.push_back({rng.uniform(0.0, static_cast<double>(n)),
+                        rng.uniform(0.0, static_cast<double>(n))});
+  }
+
+  static const Defect kDefects[] = {Defect::StuckLow, Defect::StuckHigh,
+                                    Defect::SlowLead, Defect::WeakDrive};
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      if (!in_wafer(x, y)) {
+        continue;
+      }
+      ++die_count_;
+      double p = config_.background_defect_rate;
+      for (const auto& cluster : clusters) {
+        const double dx = static_cast<double>(x) + 0.5 - cluster.cx;
+        const double dy = static_cast<double>(y) + 0.5 - cluster.cy;
+        if (std::sqrt(dx * dx + dy * dy) <= config_.cluster_radius_dies) {
+          p = std::max(p, config_.cluster_defect_rate);
+        }
+      }
+      if (rng.chance(p)) {
+        defects_[y][x] = kDefects[rng.below(std::size(kDefects))];
+        ++defect_count_;
+      }
+    }
+  }
+}
+
+bool WaferMap::in_wafer(std::size_t x, std::size_t y) const {
+  const double r = static_cast<double>(config_.diameter_dies) / 2.0;
+  const double dx = static_cast<double>(x) + 0.5 - r;
+  const double dy = static_cast<double>(y) + 0.5 - r;
+  return std::sqrt(dx * dx + dy * dy) <= r;
+}
+
+Defect WaferMap::defect_at(std::size_t x, std::size_t y) const {
+  MGT_CHECK(x < config_.diameter_dies && y < config_.diameter_dies);
+  return defects_[y][x];
+}
+
+std::string WaferMap::ProbeOutcome::ascii_art() const {
+  std::string art;
+  for (const auto& row : map) {
+    for (DieResult r : row) {
+      switch (r) {
+        case DieResult::NotPresent:
+          art.push_back(' ');
+          break;
+        case DieResult::Pass:
+          art.push_back('.');
+          break;
+        case DieResult::Fail:
+          art.push_back('X');
+          break;
+      }
+    }
+    art.push_back('\n');
+  }
+  return art;
+}
+
+}  // namespace mgt::minitester

@@ -1,0 +1,95 @@
+// Wafer maps with spatially clustered defects.
+//
+// The Fig 13 parallel-probing flow ultimately produces a wafer map. Real
+// defects cluster (edge rings, scratches, particles), which changes how a
+// stepped array covers them; this model seeds both a uniform background
+// defect rate and circular clusters, probes the map with an N-site array,
+// and reports yield plus an ASCII rendering.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minitester/dut.hpp"
+#include "util/rng.hpp"
+
+namespace mgt::minitester {
+
+class WaferMap {
+public:
+  struct Config {
+    std::size_t diameter_dies = 20;   // dies across the wafer
+    double background_defect_rate = 0.02;
+    std::size_t cluster_count = 2;
+    double cluster_radius_dies = 2.5;
+    double cluster_defect_rate = 0.75;
+  };
+
+  /// Seeds the defect map deterministically from `rng`.
+  WaferMap(Config config, Rng rng);
+
+  /// Die present at (x, y)? (circular wafer outline)
+  [[nodiscard]] bool in_wafer(std::size_t x, std::size_t y) const;
+  [[nodiscard]] std::size_t die_count() const { return die_count_; }
+  [[nodiscard]] std::size_t defect_count() const { return defect_count_; }
+
+  /// Defect of the die at (x, y); Defect::None when healthy.
+  [[nodiscard]] Defect defect_at(std::size_t x, std::size_t y) const;
+
+  /// Probe result per die.
+  enum class DieResult : std::uint8_t { NotPresent, Pass, Fail };
+
+  struct ProbeOutcome {
+    std::vector<std::vector<DieResult>> map;  // [y][x]
+    std::size_t tested = 0;
+    std::size_t fails = 0;
+    std::size_t touchdowns = 0;
+    double yield = 0.0;
+
+    /// '.' pass, 'X' fail, ' ' outside the wafer.
+    [[nodiscard]] std::string ascii_art() const;
+  };
+
+  /// Probes every die with `array_sites` dies per touchdown, running the
+  /// given per-die test (returns pass/fail given the die's defect).
+  template <typename TestFn>
+  ProbeOutcome probe(std::size_t array_sites, TestFn&& test_die) const {
+    ProbeOutcome out;
+    out.map.assign(config_.diameter_dies,
+                   std::vector<DieResult>(config_.diameter_dies,
+                                          DieResult::NotPresent));
+    std::size_t in_touchdown = 0;
+    for (std::size_t y = 0; y < config_.diameter_dies; ++y) {
+      for (std::size_t x = 0; x < config_.diameter_dies; ++x) {
+        if (!in_wafer(x, y)) {
+          continue;
+        }
+        if (in_touchdown == 0) {
+          ++out.touchdowns;
+        }
+        in_touchdown = (in_touchdown + 1) % array_sites;
+        const bool pass = test_die(defect_at(x, y));
+        out.map[y][x] = pass ? DieResult::Pass : DieResult::Fail;
+        ++out.tested;
+        out.fails += pass ? 0 : 1;
+      }
+    }
+    out.yield = out.tested == 0
+                    ? 0.0
+                    : 1.0 - static_cast<double>(out.fails) /
+                                static_cast<double>(out.tested);
+    return out;
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+  Config config_;
+  std::vector<std::vector<Defect>> defects_;  // [y][x]
+  std::size_t die_count_ = 0;
+  std::size_t defect_count_ = 0;
+};
+
+}  // namespace mgt::minitester

@@ -1,0 +1,77 @@
+#include "pecl/buffer.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mgt::pecl {
+
+OutputBuffer::OutputBuffer(Config config, Rng rng)
+    : config_(config), rng_(rng) {
+  MGT_CHECK(config_.rise_2080.ps() > 0.0);
+  MGT_CHECK(config_.pole_count >= 1);
+  MGT_CHECK(config_.dac_step.mv() > 0.0);
+  MGT_CHECK(config_.levels.voh > config_.levels.vol);
+}
+
+Millivolts OutputBuffer::snap(Millivolts v) const {
+  MGT_CHECK(v >= config_.v_min && v <= config_.v_max,
+            "level outside DAC compliance range");
+  const double steps = std::round(v.mv() / config_.dac_step.mv());
+  return Millivolts{steps * config_.dac_step.mv()};
+}
+
+void OutputBuffer::set_voh(Millivolts voh) {
+  config_.levels = config_.levels.with_voh(snap(voh));
+}
+
+void OutputBuffer::set_vol(Millivolts vol) {
+  config_.levels = config_.levels.with_vol(snap(vol));
+}
+
+void OutputBuffer::set_swing(Millivolts swing) {
+  const sig::PeclLevels target = config_.levels.with_swing(swing);
+  config_.levels = sig::PeclLevels{snap(target.voh), snap(target.vol)};
+}
+
+void OutputBuffer::set_midpoint(Millivolts mid) {
+  const sig::PeclLevels target = config_.levels.with_midpoint(mid);
+  config_.levels = sig::PeclLevels{snap(target.voh), snap(target.vol)};
+}
+
+sig::EdgeStream OutputBuffer::apply(const sig::EdgeStream& input) {
+  sig::EdgeStream out(input.initial_level());
+  double last = -1e300;
+  for (const auto& tr : input.transitions()) {
+    double t = tr.time.ps() + config_.prop_delay.ps();
+    if (config_.rj_sigma.ps() > 0.0) {
+      t += rng_.gaussian(0.0, config_.rj_sigma.ps());
+    }
+    t = std::max(t, last + 1e-3);
+    out.push(Picoseconds{t}, tr.level);
+    last = t;
+  }
+  return out;
+}
+
+void OutputBuffer::contribute(sig::FilterChain& chain) const {
+  // Split the rise budget across the poles so the cascade's RSS rise time
+  // equals the configured value.
+  const double per_pole = config_.rise_2080.ps() /
+                          std::sqrt(static_cast<double>(config_.pole_count));
+  for (int i = 0; i < config_.pole_count; ++i) {
+    chain.add_pole_rise_2080(Picoseconds{per_pole});
+  }
+}
+
+sig::FilterChain OutputBuffer::make_chain() const {
+  sig::FilterChain chain;
+  contribute(chain);
+  return chain;
+}
+
+Picoseconds OutputBuffer::realized_rise_2080() const {
+  return make_chain().rise_2080_estimate();
+}
+
+}  // namespace mgt::pecl

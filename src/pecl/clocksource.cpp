@@ -1,0 +1,42 @@
+#include "pecl/clocksource.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::pecl {
+
+ClockSource::ClockSource(Config config, Rng rng)
+    : config_(config), rng_(rng) {
+  set_frequency(config_.frequency);
+  MGT_CHECK(config_.rj_sigma.ps() >= 0.0);
+}
+
+void ClockSource::set_frequency(Gigahertz f) {
+  MGT_CHECK(f.ghz() >= config_.min_frequency.ghz() &&
+                f.ghz() <= config_.max_frequency.ghz(),
+            "RF source frequency outside instrument range");
+  config_.frequency = f;
+}
+
+sig::EdgeStream ClockSource::generate(std::size_t n_cycles, Picoseconds t0) {
+  const Picoseconds period = config_.frequency.period();
+  auto jitter = [this](std::size_t, Picoseconds) {
+    return Picoseconds{rng_.gaussian(0.0, config_.rj_sigma.ps())};
+  };
+  return sig::EdgeStream::clock(period, n_cycles, t0,
+                                config_.rj_sigma.ps() > 0.0
+                                    ? sig::EdgeOffsetFn(jitter)
+                                    : sig::EdgeOffsetFn(nullptr));
+}
+
+std::vector<Picoseconds> ClockSource::rising_edge_grid(std::size_t n,
+                                                       Picoseconds t0) const {
+  std::vector<Picoseconds> grid;
+  grid.reserve(n);
+  const double period = config_.frequency.period().ps();
+  for (std::size_t k = 0; k < n; ++k) {
+    grid.push_back(Picoseconds{t0.ps() + static_cast<double>(k) * period});
+  }
+  return grid;
+}
+
+}  // namespace mgt::pecl

@@ -1,0 +1,50 @@
+// RF clock source.
+//
+// An external low-jitter (picosecond-class) RF instrument provides the
+// master timing reference for every timing-critical signal (Fig 1:
+// "Low-Jitter Clock 0.5~2.5 GHz"). White phase noise is modeled as an
+// independent Gaussian offset per edge, which is what a scope triggered on
+// the source itself observes.
+#pragma once
+
+#include <vector>
+
+#include "signal/edge.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mgt::pecl {
+
+class ClockSource {
+public:
+  struct Config {
+    Gigahertz frequency{1.25};
+    Picoseconds rj_sigma{1.0};  // instrument-grade phase jitter
+    /// Supported tuning range of the instrument (Fig 1).
+    Gigahertz min_frequency{0.5};
+    Gigahertz max_frequency{2.5};
+  };
+
+  ClockSource(Config config, Rng rng);
+
+  [[nodiscard]] Gigahertz frequency() const { return config_.frequency; }
+  [[nodiscard]] Picoseconds period() const { return config_.frequency.period(); }
+  [[nodiscard]] Picoseconds rj_sigma() const { return config_.rj_sigma; }
+
+  /// Retunes the instrument; throws outside the supported range.
+  void set_frequency(Gigahertz f);
+
+  /// Generates n_cycles of the clock waveform starting at t0.
+  sig::EdgeStream generate(std::size_t n_cycles, Picoseconds t0 = Picoseconds{0});
+
+  /// Nominal rising-edge times (the ideal timing grid downstream logic is
+  /// calibrated against).
+  [[nodiscard]] std::vector<Picoseconds> rising_edge_grid(
+      std::size_t n, Picoseconds t0 = Picoseconds{0}) const;
+
+private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace mgt::pecl

@@ -1,0 +1,90 @@
+#include "pecl/clocktree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mgt::pecl {
+
+ClockTree::ClockTree(Config config, Rng rng) : config_(config) {
+  MGT_CHECK(config_.loads >= 1);
+  MGT_CHECK(config_.fanout_per_buffer >= 2);
+  config_.buffer.outputs = config_.fanout_per_buffer;
+
+  // Depth needed so fanout^depth >= loads.
+  depth_ = 1;
+  std::size_t reach = config_.fanout_per_buffer;
+  while (reach < config_.loads) {
+    reach *= config_.fanout_per_buffer;
+    ++depth_;
+  }
+
+  // Instantiate every buffer on some root-to-load path.
+  for (std::size_t load = 0; load < config_.loads; ++load) {
+    for (const Hop& hop : path_of(load)) {
+      const auto key = std::make_pair(hop.level, hop.index);
+      if (!buffers_.contains(key)) {
+        buffers_.emplace(key, ClockFanout(config_.buffer, rng.fork()));
+      }
+    }
+  }
+}
+
+std::vector<ClockTree::Hop> ClockTree::path_of(std::size_t load) const {
+  MGT_CHECK(load < config_.loads, "load index out of range");
+  std::vector<Hop> path(depth_);
+  // Interpret `load` in base-fanout digits, most significant hop first:
+  // buffer index at level L is the prefix of digits above it.
+  std::size_t rem = load;
+  for (std::size_t level = depth_; level-- > 0;) {
+    path[level] =
+        Hop{level, rem / config_.fanout_per_buffer,
+            rem % config_.fanout_per_buffer};
+    rem /= config_.fanout_per_buffer;
+  }
+  return path;
+}
+
+ClockFanout& ClockTree::buffer_at(std::size_t level, std::size_t index) {
+  const auto it = buffers_.find(std::make_pair(level, index));
+  MGT_CHECK(it != buffers_.end(), "internal: missing tree buffer");
+  return it->second;
+}
+
+Picoseconds ClockTree::load_skew(std::size_t load) const {
+  double skew = 0.0;
+  for (const Hop& hop : path_of(load)) {
+    const auto it = buffers_.find(std::make_pair(hop.level, hop.index));
+    MGT_CHECK(it != buffers_.end());
+    skew += it->second.skew_of(hop.port).ps();
+  }
+  return Picoseconds{skew};
+}
+
+Picoseconds ClockTree::skew_spread_pp() const {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t load = 0; load < config_.loads; ++load) {
+    const double s = load_skew(load).ps();
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  return Picoseconds{hi - lo};
+}
+
+Picoseconds ClockTree::path_rj_sigma() const {
+  const double per = config_.buffer.rj_sigma.ps();
+  return Picoseconds{per * std::sqrt(static_cast<double>(depth_))};
+}
+
+sig::EdgeStream ClockTree::drive(const sig::EdgeStream& input,
+                                 std::size_t load) {
+  sig::EdgeStream stream = input;
+  for (const Hop& hop : path_of(load)) {
+    stream = buffer_at(hop.level, hop.index).drive(stream, hop.port);
+  }
+  return stream;
+}
+
+}  // namespace mgt::pecl

@@ -1,0 +1,69 @@
+// Clock distribution trees.
+//
+// The boards distribute one RF clock to many loads (mux stages, delay
+// lines, the DUT, the sampler strobes — Figs 1 and 15). Every fanout
+// buffer in the path adds propagation delay, a fixed output skew, and a
+// little random jitter; a distribution tree therefore trades fanout per
+// buffer against accumulated depth. This model builds the whole tree from
+// physical per-buffer parameters and exposes the per-load timing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pecl/fanout.hpp"
+#include "signal/edge.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mgt::pecl {
+
+class ClockTree {
+public:
+  struct Config {
+    std::size_t loads = 16;
+    std::size_t fanout_per_buffer = 4;
+    ClockFanout::Config buffer{};  // per-buffer electrical parameters
+  };
+
+  /// Builds the tree; every buffer instance draws its own skews.
+  ClockTree(Config config, Rng rng);
+
+  [[nodiscard]] std::size_t loads() const { return config_.loads; }
+  /// Buffer stages between the root input and any load.
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  /// Total number of buffer parts the tree uses (board cost).
+  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+
+  /// Deterministic skew of one load relative to the tree input
+  /// (propagation delay excluded; it is common mode).
+  [[nodiscard]] Picoseconds load_skew(std::size_t load) const;
+
+  /// Peak-to-peak spread of load skews (the tree's clock-skew budget).
+  [[nodiscard]] Picoseconds skew_spread_pp() const;
+
+  /// RJ sigma accumulated along any root-to-load path (buffers RSS).
+  [[nodiscard]] Picoseconds path_rj_sigma() const;
+
+  /// Drives the input clock to the given load through the buffer chain
+  /// (applies delays, skews and per-edge jitter of every stage).
+  sig::EdgeStream drive(const sig::EdgeStream& input, std::size_t load);
+
+private:
+  /// Buffer at (level, index); level 0 is the root.
+  [[nodiscard]] ClockFanout& buffer_at(std::size_t level, std::size_t index);
+  /// Path of (level, buffer index, output port) triples for a load.
+  struct Hop {
+    std::size_t level;
+    std::size_t index;
+    std::size_t port;
+  };
+  [[nodiscard]] std::vector<Hop> path_of(std::size_t load) const;
+
+  Config config_;
+  std::size_t depth_ = 1;
+  std::map<std::pair<std::size_t, std::size_t>, ClockFanout> buffers_;
+};
+
+}  // namespace mgt::pecl

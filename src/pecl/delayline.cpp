@@ -1,0 +1,76 @@
+#include "pecl/delayline.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace mgt::pecl {
+
+ProgrammableDelay::ProgrammableDelay(Config config, Rng rng)
+    : config_(config), rng_(rng) {
+  MGT_CHECK(config_.step.ps() > 0.0);
+  MGT_CHECK(config_.code_count >= 2);
+  offset_ps_ = rng_.uniform(-config_.offset_error.ps(),
+                            config_.offset_error.ps());
+  gain_ = 1.0 + rng_.uniform(-config_.gain_error, config_.gain_error);
+
+  // INL: a slow bow (typical of tapped delay chains) plus small per-code
+  // mismatch, both bounded by inl_bound.
+  inl_ps_.resize(config_.code_count);
+  const double bow_amp = 0.6 * config_.inl_bound.ps();
+  const double noise_amp = 0.35 * config_.inl_bound.ps();
+  const double phase = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t c = 0; c < config_.code_count; ++c) {
+    const double x = static_cast<double>(c) /
+                     static_cast<double>(config_.code_count - 1);
+    const double bow = bow_amp * std::sin(std::numbers::pi * x + phase) *
+                       std::sin(std::numbers::pi * x);
+    const double mismatch = rng_.uniform(-noise_amp, noise_amp);
+    inl_ps_[c] = bow + mismatch;
+  }
+  inl_ps_[0] = 0.0;  // code 0 is the calibration reference
+}
+
+void ProgrammableDelay::set_code(std::size_t code) {
+  MGT_CHECK(code < config_.code_count, "delay code out of range");
+  code_ = code;
+}
+
+Picoseconds ProgrammableDelay::programmed_delay() const {
+  return Picoseconds{static_cast<double>(code_) * config_.step.ps()};
+}
+
+Picoseconds ProgrammableDelay::actual_delay(std::size_t code) const {
+  MGT_CHECK(code < config_.code_count, "delay code out of range");
+  const double ideal = static_cast<double>(code) * config_.step.ps();
+  return Picoseconds{offset_ps_ + gain_ * ideal + inl_ps_[code]};
+}
+
+Picoseconds ProgrammableDelay::worst_case_error() const {
+  double worst = 0.0;
+  for (std::size_t c = 0; c < config_.code_count; ++c) {
+    const double ideal = static_cast<double>(c) * config_.step.ps();
+    worst = std::max(worst, std::abs(actual_delay(c).ps() - ideal));
+  }
+  return Picoseconds{worst};
+}
+
+sig::EdgeStream ProgrammableDelay::apply(const sig::EdgeStream& input) {
+  const double base =
+      config_.insertion_delay.ps() + actual_delay(code_).ps();
+  sig::EdgeStream out(input.initial_level());
+  double last = -1e300;
+  for (const auto& tr : input.transitions()) {
+    double t = tr.time.ps() + base;
+    if (config_.rj_sigma.ps() > 0.0) {
+      t += rng_.gaussian(0.0, config_.rj_sigma.ps());
+    }
+    t = std::max(t, last + 1e-3);
+    out.push(Picoseconds{t}, tr.level);
+    last = t;
+  }
+  return out;
+}
+
+}  // namespace mgt::pecl

@@ -1,0 +1,67 @@
+// Programmable delay lines.
+//
+// Both applications require edge placement with 10 ps resolution over a
+// 10 ns range with about +-25 ps absolute accuracy (Sections 1, 3, 4). The
+// model is a digitally programmed vernier: delay = offset + gain*code*step
+// + INL(code), where the INL profile is a fixed property of the physical
+// part (drawn once, deterministic per instance) and bounded so total
+// placement error stays within the accuracy spec.
+#pragma once
+
+#include <vector>
+
+#include "signal/edge.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mgt::pecl {
+
+class ProgrammableDelay {
+public:
+  struct Config {
+    Picoseconds step{10.0};          // programmable resolution
+    std::size_t code_count = 1024;   // range = step * (code_count-1) ~ 10 ns
+    Picoseconds offset_error{4.0};   // fixed insertion-delay error bound
+    double gain_error = 0.0008;      // proportional error bound (0.08 %)
+    Picoseconds inl_bound{10.0};     // max integral nonlinearity
+    Picoseconds rj_sigma{0.3};       // delay-cell random jitter
+    Picoseconds insertion_delay{900.0};  // nominal through-delay
+  };
+
+  /// The part's error profile is drawn once from `rng` at construction.
+  ProgrammableDelay(Config config, Rng rng);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::size_t code_count() const { return config_.code_count; }
+  [[nodiscard]] Picoseconds full_range() const {
+    return Picoseconds{config_.step.ps() *
+                       static_cast<double>(config_.code_count - 1)};
+  }
+
+  void set_code(std::size_t code);
+  [[nodiscard]] std::size_t code() const { return code_; }
+
+  /// Programmed (ideal) delay for the current code, relative to code 0.
+  [[nodiscard]] Picoseconds programmed_delay() const;
+
+  /// Actual delay the hardware realizes for `code` (relative to code 0,
+  /// excluding insertion delay), including offset/gain/INL errors.
+  [[nodiscard]] Picoseconds actual_delay(std::size_t code) const;
+
+  /// Worst-case |actual - programmed| across all codes: the placement
+  /// accuracy of this specific part (paper: about +-25 ps).
+  [[nodiscard]] Picoseconds worst_case_error() const;
+
+  /// Delays every edge of `input` by insertion + actual delay + RJ.
+  sig::EdgeStream apply(const sig::EdgeStream& input);
+
+private:
+  Config config_;
+  Rng rng_;
+  std::size_t code_ = 0;
+  double offset_ps_;
+  double gain_;
+  std::vector<double> inl_ps_;  // per-code INL profile
+};
+
+}  // namespace mgt::pecl

@@ -1,0 +1,71 @@
+// Clock fanout buffers, frequency dividers and the XOR gate.
+//
+// The PECL section distributes the RF clock to muxes, delay lines and the
+// DUT (Fig 15 "Clock Fanout"). Each fanout output adds a fixed skew and a
+// small additive random jitter; dividers derive the lane-rate clocks; the
+// XOR gate implements edge combining and clock doubling.
+#pragma once
+
+#include <vector>
+
+#include "signal/edge.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mgt::pecl {
+
+/// 1:N clock fanout buffer.
+class ClockFanout {
+public:
+  struct Config {
+    std::size_t outputs = 4;
+    Picoseconds prop_delay{120.0};   // PECL buffer propagation delay
+    Picoseconds skew_pp{8.0};        // output-to-output skew, peak-to-peak
+    Picoseconds rj_sigma{0.4};       // additive jitter per output
+  };
+
+  /// Output skews are drawn once at construction (they are a property of
+  /// the physical part, not of the signal).
+  ClockFanout(Config config, Rng rng);
+
+  [[nodiscard]] std::size_t outputs() const { return config_.outputs; }
+  [[nodiscard]] Picoseconds skew_of(std::size_t output) const;
+
+  /// Produces output `output` for the given input clock/signal.
+  sig::EdgeStream drive(const sig::EdgeStream& input, std::size_t output);
+
+private:
+  Config config_;
+  Rng rng_;
+  std::vector<Picoseconds> skews_;
+};
+
+/// Synchronous divide-by-N: output toggles at every Nth rising edge of the
+/// input, producing a divided clock with 50% duty (for even division of a
+/// 50% clock).
+sig::EdgeStream divide_clock(const sig::EdgeStream& clock, std::size_t divisor);
+
+/// PECL XOR gate with propagation delay and additive jitter. Classic use:
+/// doubling a clock by XOR with a quarter-period-delayed copy of itself.
+class XorGate {
+public:
+  struct Config {
+    Picoseconds prop_delay{150.0};
+    Picoseconds rj_sigma{0.5};
+  };
+
+  XorGate(Config config, Rng rng) : config_(config), rng_(rng) {}
+
+  sig::EdgeStream combine(const sig::EdgeStream& a, const sig::EdgeStream& b);
+
+  /// Frequency-doubles `clock` via XOR with a copy delayed by a quarter
+  /// period.
+  sig::EdgeStream double_clock(const sig::EdgeStream& clock,
+                               Picoseconds quarter_period);
+
+private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace mgt::pecl

@@ -1,0 +1,121 @@
+#include "pecl/mux.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mgt::pecl {
+
+SerializerTree::SerializerTree(Config config, Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  MGT_CHECK(!config_.stages.empty(), "serializer needs at least one stage");
+  for (const auto& stage : config_.stages) {
+    MGT_CHECK(stage.fan_in >= 2, "mux stage fan-in must be at least 2");
+    std::vector<Picoseconds> stage_skews;
+    stage_skews.reserve(stage.fan_in);
+    for (std::size_t i = 0; i < stage.fan_in; ++i) {
+      stage_skews.push_back(Picoseconds{rng_.uniform(
+          -stage.skew_pp.ps() / 2.0, stage.skew_pp.ps() / 2.0)});
+    }
+    skews_.push_back(std::move(stage_skews));
+  }
+}
+
+std::size_t SerializerTree::total_lanes() const {
+  std::size_t lanes = 1;
+  for (const auto& stage : config_.stages) {
+    lanes *= stage.fan_in;
+  }
+  return lanes;
+}
+
+Picoseconds SerializerTree::total_prop_delay() const {
+  double d = 0.0;
+  for (const auto& stage : config_.stages) {
+    d += stage.prop_delay.ps();
+  }
+  return Picoseconds{d};
+}
+
+Picoseconds SerializerTree::skew_for_bit(std::size_t k) const {
+  // Decompose the serial index: the final stage's input selects fastest.
+  double skew = 0.0;
+  std::size_t rem = k;
+  for (std::size_t s = 0; s < config_.stages.size(); ++s) {
+    const std::size_t input = rem % config_.stages[s].fan_in;
+    rem /= config_.stages[s].fan_in;
+    skew += skews_[s][input].ps();
+  }
+  return Picoseconds{skew};
+}
+
+Picoseconds SerializerTree::skew_profile_pp() const {
+  const std::size_t lanes = total_lanes();
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const double s = skew_for_bit(k).ps();
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  return Picoseconds{hi - lo};
+}
+
+Picoseconds SerializerTree::total_rj_sigma() const {
+  double sum_sq = config_.clock_rj_sigma.ps() * config_.clock_rj_sigma.ps();
+  for (const auto& stage : config_.stages) {
+    sum_sq += stage.rj_sigma.ps() * stage.rj_sigma.ps();
+  }
+  return Picoseconds{std::sqrt(sum_sq)};
+}
+
+sig::EdgeStream SerializerTree::serialize(const BitVector& bits,
+                                          GbitsPerSec rate, Picoseconds t0) {
+  MGT_CHECK(rate.gbps() > 0.0);
+  const double sigma = total_rj_sigma().ps();
+  const Picoseconds start = t0 + total_prop_delay();
+  auto offset = [this, sigma](std::size_t bit_index, Picoseconds) {
+    // The edge launching bit k is timed by the path that sources bit k.
+    double dt = skew_for_bit(bit_index).ps();
+    if (sigma > 0.0) {
+      dt += rng_.gaussian(0.0, sigma);
+    }
+    return Picoseconds{dt};
+  };
+  return sig::EdgeStream::from_bits(bits, rate.unit_interval(), start, offset);
+}
+
+std::vector<BitVector> SerializerTree::distribute(const BitVector& serial) const {
+  const std::size_t lanes = total_lanes();
+  MGT_CHECK(serial.size() % lanes == 0,
+            "serial length must divide into the lane count");
+  return serial.deinterleave(lanes);
+}
+
+SerializerTree::Config SerializerTree::testbed_8to1() {
+  Config config;
+  config.stages = {MuxStage{.fan_in = 8,
+                            .skew_pp = Picoseconds{30.0},
+                            .rj_sigma = Picoseconds{1.6},
+                            .prop_delay = Picoseconds{220.0}}};
+  config.clock_rj_sigma = Picoseconds{1.2};
+  return config;
+}
+
+SerializerTree::Config SerializerTree::minitester_16to1() {
+  Config config;
+  // Final 2:1 stage (fastest part, tightest skew), then the two 8:1 stages.
+  config.stages = {MuxStage{.fan_in = 2,
+                            .skew_pp = Picoseconds{14.0},
+                            .rj_sigma = Picoseconds{1.4},
+                            .prop_delay = Picoseconds{180.0}},
+                   MuxStage{.fan_in = 8,
+                            .skew_pp = Picoseconds{22.0},
+                            .rj_sigma = Picoseconds{1.2},
+                            .prop_delay = Picoseconds{220.0}}};
+  config.clock_rj_sigma = Picoseconds{1.2};
+  return config;
+}
+
+}  // namespace mgt::pecl

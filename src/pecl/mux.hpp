@@ -1,0 +1,83 @@
+// PECL multiplexers and serializer trees.
+//
+// The central trick of the paper: the DLC's wide, moderate-speed outputs
+// are serialized by PECL muxes into a few multi-Gbps signals. The optical
+// test bed uses one 8:1 parallel-to-serial stage per channel; the mini-
+// tester combines two 8:1 stages with a final 2:1 stage to reach 5 Gbps
+// (Fig 15). Each stage contributes input-to-input skew (a fixed property
+// of the part and its routing) and additive random jitter; the serial
+// edge timing is referenced to the (jittered) RF clock.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/edge.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mgt::pecl {
+
+/// One mux stage, listed from the output (fastest, final) stage inward.
+struct MuxStage {
+  std::size_t fan_in = 8;
+  /// Input-to-input deterministic skew, peak-to-peak.
+  Picoseconds skew_pp{12.0};
+  /// Additive random jitter of the stage.
+  Picoseconds rj_sigma{1.0};
+  Picoseconds prop_delay{200.0};
+};
+
+/// A tree of mux stages serializing DLC lanes to one multi-Gbps stream.
+class SerializerTree {
+public:
+  struct Config {
+    /// Stages from the final (output) 2:1/8:1 backwards; total lane count
+    /// is the product of fan-ins.
+    std::vector<MuxStage> stages;
+    /// RJ of the serializing clock as seen at the retiming flip-flops
+    /// (RF source + fanout path).
+    Picoseconds clock_rj_sigma{1.2};
+  };
+
+  /// Per-input skews are drawn once at construction.
+  SerializerTree(Config config, Rng rng);
+
+  [[nodiscard]] std::size_t total_lanes() const;
+  [[nodiscard]] Picoseconds total_prop_delay() const;
+
+  /// Deterministic skew seen by serial bit k (sum over stages of the skew
+  /// of the input that sources bit k).
+  [[nodiscard]] Picoseconds skew_for_bit(std::size_t k) const;
+
+  /// Peak-to-peak of the per-bit skew profile (the DJ this tree adds).
+  [[nodiscard]] Picoseconds skew_profile_pp() const;
+
+  /// Combined per-edge Gaussian sigma (clock RSS'd with every stage).
+  [[nodiscard]] Picoseconds total_rj_sigma() const;
+
+  /// Serializes `bits` at `rate`: bit k occupies
+  /// [t0 + k*UI, t0 + (k+1)*UI) shifted by the tree's propagation delay,
+  /// with each transition perturbed by skew and RJ.
+  sig::EdgeStream serialize(const BitVector& bits, GbitsPerSec rate,
+                            Picoseconds t0 = Picoseconds{0});
+
+  /// Splits a serial stream into the DLC lane streams this tree's wiring
+  /// expects (inverse of the interleave the hardware performs). Lane order:
+  /// final-stage input index varies fastest.
+  [[nodiscard]] std::vector<BitVector> distribute(const BitVector& serial) const;
+
+  /// Standard configurations used by the two projects.
+  /// 8:1 single stage (optical test bed transmitter channel).
+  static Config testbed_8to1();
+  /// Two 8:1 stages + final 2:1 (mini-tester, Fig 15), reaching 5 Gbps.
+  static Config minitester_16to1();
+
+private:
+  Config config_;
+  Rng rng_;
+  std::vector<std::vector<Picoseconds>> skews_;  // [stage][input]
+};
+
+}  // namespace mgt::pecl

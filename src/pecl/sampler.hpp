@@ -1,0 +1,59 @@
+// High-speed PECL sampling circuit (the mini-tester's capture path,
+// Fig 15 "Data Capture" + "Clock Delay"). A strobe derived from the RF
+// clock through a programmable delay samples the returned waveform with
+// 10 ps placement resolution; the latch has a finite aperture (setup/hold)
+// window within which capture is metastable.
+#pragma once
+
+#include <vector>
+
+#include "signal/edge.hpp"
+#include "signal/filter.hpp"
+#include "signal/levels.hpp"
+#include "signal/sinks.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mgt::pecl {
+
+class PeclSampler {
+public:
+  struct Config {
+    Millivolts threshold{2000.0};
+    Picoseconds strobe_rj_sigma{1.5};
+    Picoseconds aperture{8.0};
+    /// Render step used when digitizing the waveform under test.
+    Picoseconds sample_step{0.5};
+  };
+
+  PeclSampler(Config config, Rng rng) : config_(config), rng_(rng) {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  void set_threshold(Millivolts threshold) { config_.threshold = threshold; }
+
+  /// Uniform strobe schedule: first strobe at `first`, then every `period`.
+  static std::vector<Picoseconds> strobe_schedule(Picoseconds first,
+                                                  Picoseconds period,
+                                                  std::size_t count);
+
+  /// Result of one capture run.
+  struct Capture {
+    BitVector bits;
+    std::vector<Millivolts> analog;
+  };
+
+  /// Renders `stream` (levels + bandwidth chain) and captures it at the
+  /// given strobes. The render window automatically pads around the
+  /// strobes so the filter is settled.
+  Capture capture(const sig::EdgeStream& stream,
+                  const sig::FilterChain& chain,
+                  const sig::PeclLevels& levels,
+                  const std::vector<Picoseconds>& strobes);
+
+private:
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace mgt::pecl

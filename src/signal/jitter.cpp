@@ -1,0 +1,56 @@
+#include "signal/jitter.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mgt::sig {
+
+Picoseconds JitterSource::offset(bool rising, Picoseconds t) {
+  double dt = 0.0;
+  if (spec_.rj_sigma.ps() > 0.0) {
+    dt += rng_.gaussian(0.0, spec_.rj_sigma.ps());
+  }
+  if (spec_.dj_pp.ps() > 0.0) {
+    dt += rng_.chance(0.5) ? spec_.dj_pp.ps() / 2.0 : -spec_.dj_pp.ps() / 2.0;
+  }
+  if (spec_.dcd_pp.ps() > 0.0) {
+    dt += rising ? spec_.dcd_pp.ps() / 2.0 : -spec_.dcd_pp.ps() / 2.0;
+  }
+  if (spec_.pj_amplitude.ps() > 0.0) {
+    const double omega_per_ps =
+        2.0 * std::numbers::pi * spec_.pj_frequency.ghz() * 1e-3;
+    dt += spec_.pj_amplitude.ps() * std::sin(omega_per_ps * t.ps());
+  }
+  return Picoseconds{dt};
+}
+
+EdgeStream JitterSource::apply(const EdgeStream& in) {
+  EdgeStream out(in.initial_level());
+  double last_time = -1e300;
+  for (const auto& tr : in.transitions()) {
+    double t = tr.time.ps() + offset(tr.level, tr.time).ps();
+    t = std::max(t, last_time + 1e-3);
+    // push() enforces monotonicity and alternation; the clamp guarantees it.
+    out.push(Picoseconds{t}, tr.level);
+    last_time = t;
+  }
+  return out;
+}
+
+double expected_gaussian_pp(std::size_t n, double sigma) {
+  if (n < 2 || sigma <= 0.0) {
+    return 0.0;
+  }
+  const double ln_n = std::log(static_cast<double>(n));
+  const double a = std::sqrt(2.0 * ln_n);
+  // Asymptotic mean of the max of n standard normal deviates.
+  const double expected_max =
+      a - (std::log(ln_n) + std::log(4.0 * std::numbers::pi)) / (2.0 * a);
+  return 2.0 * expected_max * sigma;
+}
+
+double expected_total_jitter_pp(std::size_t n, double rj_sigma, double dj_pp) {
+  return dj_pp + expected_gaussian_pp(n, rj_sigma);
+}
+
+}  // namespace mgt::sig

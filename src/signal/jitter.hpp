@@ -1,0 +1,66 @@
+// Jitter models.
+//
+// Total jitter is composed, as in scope practice, of random jitter (RJ,
+// unbounded Gaussian), and deterministic jitter (DJ, bounded): dual-Dirac
+// bimodal DJ, duty-cycle distortion (DCD), and sinusoidal periodic jitter
+// (PJ). Data-dependent jitter (DDJ/ISI) is NOT injected here — it emerges
+// physically from the band-limited output stage acting on the edge stream.
+#pragma once
+
+#include <cstddef>
+
+#include "signal/edge.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mgt::sig {
+
+/// Configuration of an injected jitter process.
+struct JitterSpec {
+  /// Gaussian RJ standard deviation.
+  Picoseconds rj_sigma{0.0};
+  /// Dual-Dirac deterministic jitter, peak-to-peak (each edge lands at
+  /// +dj/2 or -dj/2 with equal probability).
+  Picoseconds dj_pp{0.0};
+  /// Duty-cycle distortion, peak-to-peak: rising edges shift +dcd/2,
+  /// falling edges -dcd/2.
+  Picoseconds dcd_pp{0.0};
+  /// Sinusoidal periodic jitter amplitude (0-to-peak) and frequency.
+  Picoseconds pj_amplitude{0.0};
+  Gigahertz pj_frequency{0.0};
+
+  [[nodiscard]] bool is_zero() const {
+    return rj_sigma.ps() == 0.0 && dj_pp.ps() == 0.0 && dcd_pp.ps() == 0.0 &&
+           pj_amplitude.ps() == 0.0;
+  }
+};
+
+/// Stateful jitter source bound to an RNG stream.
+class JitterSource {
+public:
+  JitterSource(JitterSpec spec, Rng rng) : spec_(spec), rng_(rng) {}
+
+  /// Timing offset for one edge at nominal time `t`; `rising` selects the
+  /// DCD polarity.
+  Picoseconds offset(bool rising, Picoseconds t);
+
+  /// Applies the jitter process to every transition of a stream.
+  EdgeStream apply(const EdgeStream& in);
+
+  [[nodiscard]] const JitterSpec& spec() const { return spec_; }
+
+private:
+  JitterSpec spec_;
+  Rng rng_;
+};
+
+/// Expected peak-to-peak spread of n samples of a zero-mean Gaussian with
+/// standard deviation sigma (asymptotic extreme-value formula). This is what
+/// a scope's "p-p jitter over n edges" converges to for pure RJ.
+double expected_gaussian_pp(std::size_t n, double sigma);
+
+/// Dual-Dirac total jitter estimate: TJ(pp over n edges) = DJ_pp + RJ p-p
+/// spread over n edges.
+double expected_total_jitter_pp(std::size_t n, double rj_sigma, double dj_pp);
+
+}  // namespace mgt::sig

@@ -1,0 +1,65 @@
+#include "signal/render.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mgt::sig {
+
+void render(const EdgeStream& stream, FilterChain chain,
+            const RenderConfig& config, Picoseconds t_begin,
+            Picoseconds t_end, const std::vector<WaveformSink*>& sinks) {
+  MGT_CHECK(t_end > t_begin, "render window must be non-empty");
+  MGT_CHECK(config.sample_step.ps() > 0.0);
+  const double dt = config.sample_step.ps();
+
+  auto level_to_mv = [&](bool level) {
+    return level ? config.levels.voh : config.levels.vol;
+  };
+
+  // Position in the transition list: first transition at or after t_begin.
+  const auto& trs = stream.transitions();
+  std::size_t next_tr = static_cast<std::size_t>(
+      std::lower_bound(trs.begin(), trs.end(), t_begin,
+                       [](const Transition& tr, Picoseconds t) {
+                         return tr.time < t;
+                       }) -
+      trs.begin());
+
+  bool level = stream.level_at(t_begin);
+  chain.reset(level_to_mv(level));
+
+  double now = t_begin.ps();
+  const long long n_samples =
+      static_cast<long long>((t_end.ps() - t_begin.ps()) / dt);
+
+  for (long long k = 0; k <= n_samples; ++k) {
+    const double t_sample = t_begin.ps() + static_cast<double>(k) * dt;
+    if (t_sample >= t_end.ps()) {
+      break;
+    }
+    // Advance exactly through any transitions before this sample.
+    while (next_tr < trs.size() && trs[next_tr].time.ps() <= t_sample) {
+      const double t_tr = trs[next_tr].time.ps();
+      if (t_tr > now) {
+        chain.step(level_to_mv(level), Picoseconds{t_tr - now});
+        now = t_tr;
+      }
+      level = trs[next_tr].level;
+      ++next_tr;
+    }
+    if (t_sample > now) {
+      chain.step(level_to_mv(level), Picoseconds{t_sample - now});
+      now = t_sample;
+    }
+    const Millivolts v = chain.output();
+    for (WaveformSink* sink : sinks) {
+      sink->on_sample(Picoseconds{t_sample}, v);
+    }
+  }
+  for (WaveformSink* sink : sinks) {
+    sink->finish();
+  }
+}
+
+}  // namespace mgt::sig

@@ -1,0 +1,129 @@
+#include "signal/sinks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mgt::sig {
+
+void CrossingRecorder::on_sample(Picoseconds t, Millivolts v) {
+  const double th = threshold_.mv();
+  if (have_prev_) {
+    const bool was_below = prev_v_ < th;
+    const bool is_below = v.mv() < th;
+    if (was_below != is_below && v.mv() != prev_v_) {
+      const double frac = (th - prev_v_) / (v.mv() - prev_v_);
+      const double tc = prev_t_ + frac * (t.ps() - prev_t_);
+      crossings_.push_back({Picoseconds{tc}, was_below});
+    }
+  }
+  prev_t_ = t.ps();
+  prev_v_ = v.mv();
+  have_prev_ = true;
+}
+
+void WaveformTrace::on_sample(Picoseconds t, Millivolts v) {
+  if (counter_++ % decimation_ == 0) {
+    t_.push_back(t.ps());
+    v_.push_back(v.mv());
+  }
+}
+
+StrobeSampler::StrobeSampler(std::vector<Picoseconds> strobes, Config config,
+                             Rng rng)
+    : strobes_(std::move(strobes)), config_(config), rng_(rng) {
+  if (config_.strobe_rj_sigma.ps() > 0.0) {
+    for (auto& s : strobes_) {
+      s += Picoseconds{rng_.gaussian(0.0, config_.strobe_rj_sigma.ps())};
+    }
+    std::sort(strobes_.begin(), strobes_.end());
+  } else {
+    MGT_CHECK(std::is_sorted(strobes_.begin(), strobes_.end()),
+              "strobe times must be sorted");
+  }
+  bits_ = BitVector(strobes_.size());
+  analog_.assign(strobes_.size(), Millivolts{0.0});
+}
+
+void StrobeSampler::capture(double strobe_ps, double v_mv,
+                            double slope_mv_per_ps) {
+  bool bit = v_mv >= config_.threshold.mv();
+  if (config_.aperture.ps() > 0.0 && slope_mv_per_ps != 0.0) {
+    // Metastability: if the threshold crossing lies within the aperture
+    // around the strobe, the latch resolves randomly.
+    const double t_to_threshold =
+        (config_.threshold.mv() - v_mv) / slope_mv_per_ps;
+    if (std::abs(t_to_threshold) <= config_.aperture.ps() / 2.0) {
+      bit = rng_.chance(0.5);
+    }
+  }
+  bits_.set(next_, bit);
+  analog_[next_] = Millivolts{v_mv};
+  ++next_;
+  (void)strobe_ps;
+}
+
+void StrobeSampler::on_sample(Picoseconds t, Millivolts v) {
+  if (have_prev_) {
+    while (next_ < strobes_.size() && strobes_[next_].ps() <= t.ps()) {
+      const double s = strobes_[next_].ps();
+      if (s < prev_t_) {
+        // Strobe before the rendered window: count as missed.
+        bits_.set(next_, false);
+        ++next_;
+        ++missed_;
+        continue;
+      }
+      const double span = t.ps() - prev_t_;
+      const double frac = span > 0.0 ? (s - prev_t_) / span : 0.0;
+      const double v_mv = prev_v_ + frac * (v.mv() - prev_v_);
+      const double slope = span > 0.0 ? (v.mv() - prev_v_) / span : 0.0;
+      capture(s, v_mv, slope);
+    }
+  }
+  prev_t_ = t.ps();
+  prev_v_ = v.mv();
+  have_prev_ = true;
+}
+
+void StrobeSampler::finish() {
+  while (next_ < strobes_.size()) {
+    bits_.set(next_, false);
+    ++next_;
+    ++missed_;
+  }
+}
+
+AmplitudeTracker::AmplitudeTracker(Millivolts decision_threshold,
+                                   double slope_limit_mv_per_ps)
+    : threshold_(decision_threshold), slope_limit_(slope_limit_mv_per_ps) {}
+
+void AmplitudeTracker::on_sample(Picoseconds t, Millivolts v) {
+  max_ = std::max(max_, v.mv());
+  min_ = std::min(min_, v.mv());
+  if (have_prev_) {
+    const double dt = t.ps() - prev_t_;
+    const double slope = dt > 0.0 ? std::abs(v.mv() - prev_v_) / dt : 0.0;
+    if (slope <= slope_limit_) {
+      if (v.mv() >= threshold_.mv()) {
+        high_.add(v.mv());
+      } else {
+        low_.add(v.mv());
+      }
+    }
+  }
+  prev_t_ = t.ps();
+  prev_v_ = v.mv();
+  have_prev_ = true;
+}
+
+Millivolts AmplitudeTracker::settled_high() const {
+  return Millivolts{high_.mean()};
+}
+
+Millivolts AmplitudeTracker::settled_low() const {
+  return Millivolts{low_.mean()};
+}
+
+}  // namespace mgt::sig

@@ -1,0 +1,89 @@
+#include "testbed/analog_receiver.hpp"
+
+#include <cmath>
+
+#include "signal/render.hpp"
+#include "signal/sinks.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace mgt::testbed {
+
+AnalogReceiver::AnalogReceiver(Config config, Rng rng)
+    : config_(config), rng_(rng) {
+  config_.format.validate();
+  MGT_CHECK(config_.strobe_fraction > 0.0 && config_.strobe_fraction < 1.0);
+  MGT_CHECK(config_.input_rise_2080.ps() > 0.0);
+}
+
+std::vector<sig::Crossing> AnalogReceiver::recover_clock_edges(
+    const OpticalTransmitter::Output& signals, Picoseconds t_begin,
+    Picoseconds t_end) const {
+  sig::FilterChain chain = signals.chain;
+  chain.add_pole_rise_2080(config_.input_rise_2080);
+  sig::CrossingRecorder recorder(config_.threshold);
+  sig::RenderConfig render_config{.levels = signals.levels,
+                                  .sample_step = config_.sample_step};
+  sig::render(signals.clock, chain, render_config, t_begin, t_end,
+              {&recorder});
+  return recorder.crossings();
+}
+
+AnalogReceiver::Result AnalogReceiver::receive(
+    const OpticalTransmitter::Output& signals, Picoseconds slot_start) {
+  const SlotFormat& fmt = config_.format;
+  Result out;
+
+  const Picoseconds t_begin{slot_start.ps()};
+  const Picoseconds t_end{slot_start.ps() + fmt.slot_duration().ps() +
+                          2.0 * fmt.ui.ps()};
+  const auto clock_edges = recover_clock_edges(signals, t_begin, t_end);
+  out.clock_edges_seen = clock_edges.size();
+
+  const std::size_t first_data_edge = fmt.pre_clock_bits;
+  if (clock_edges.size() < first_data_edge + fmt.data_bits) {
+    out.captured = false;
+    return out;
+  }
+  out.captured = true;
+
+  // Strobe schedule from the recovered clock.
+  std::vector<Picoseconds> strobes;
+  strobes.reserve(fmt.data_bits);
+  const double offset = config_.strobe_fraction * fmt.ui.ps();
+  for (std::size_t k = 0; k < fmt.data_bits; ++k) {
+    strobes.push_back(
+        Picoseconds{clock_edges[first_data_edge + k].time.ps() + offset});
+  }
+
+  // Capture every payload channel with the sampling flip-flop model.
+  RunningStats margin;
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    sig::FilterChain chain = signals.chain;
+    chain.add_pole_rise_2080(config_.input_rise_2080);
+    pecl::PeclSampler sampler(
+        pecl::PeclSampler::Config{.threshold = config_.threshold,
+                                  .strobe_rj_sigma = config_.strobe_rj_sigma,
+                                  .aperture = config_.aperture,
+                                  .sample_step = config_.sample_step},
+        rng_.fork());
+    const auto capture =
+        sampler.capture(signals.data[ch], chain, signals.levels, strobes);
+    out.packet.payload[ch] = capture.bits;
+    for (const auto& v : capture.analog) {
+      margin.add(std::abs(v.mv() - config_.threshold.mv()));
+    }
+  }
+  out.mean_strobe_margin = Millivolts{margin.mean()};
+
+  // Header bits are quasi-static: edge-domain sampling suffices.
+  const Picoseconds mid{clock_edges[clock_edges.size() / 2].time.ps()};
+  for (std::size_t ch = 0; ch < kHeaderChannels; ++ch) {
+    if (signals.header[ch].level_at(mid)) {
+      out.packet.header |= static_cast<std::uint8_t>(1u << ch);
+    }
+  }
+  return out;
+}
+
+}  // namespace mgt::testbed

@@ -1,0 +1,66 @@
+// Analog (waveform-level) receiver for the Optical Test Bed.
+//
+// The edge-domain Receiver samples transition lists directly — exact and
+// fast. This variant models the receive electronics the way the capture
+// hardware actually works: each detected channel is rendered through the
+// receiver's input bandwidth, the clock channel's threshold crossings are
+// recovered from the waveform, and the payload channels are strobed by a
+// sampling flip-flop (aperture + strobe jitter included) half a UI after
+// each recovered clock edge. Used to validate the edge-domain shortcut
+// and to study amplitude-marginal links (low swing, weak optical power).
+#pragma once
+
+#include <cstdint>
+
+#include "pecl/sampler.hpp"
+#include "signal/channel.hpp"
+#include "testbed/receiver.hpp"
+#include "testbed/transmitter.hpp"
+#include "util/rng.hpp"
+
+namespace mgt::testbed {
+
+class AnalogReceiver {
+public:
+  struct Config {
+    SlotFormat format{};
+    /// Receiver input bandwidth (limiting amp + comparator front end).
+    Picoseconds input_rise_2080{50.0};
+    /// Decision threshold; defaults to the nominal PECL midpoint.
+    Millivolts threshold{2000.0};
+    /// Strobe placement after each clock edge, as a fraction of UI.
+    double strobe_fraction = 0.5;
+    /// Capture flip-flop characteristics.
+    Picoseconds strobe_rj_sigma{1.5};
+    Picoseconds aperture{8.0};
+    Picoseconds sample_step{0.5};
+  };
+
+  AnalogReceiver(Config config, Rng rng);
+
+  struct Result {
+    TestbedPacket packet;
+    std::size_t clock_edges_seen = 0;
+    bool captured = false;
+    /// Mean analog swing observed at the payload strobes (margin metric).
+    Millivolts mean_strobe_margin{0.0};
+  };
+
+  /// Recovers one slot from the transmitted/detected signals. `levels`
+  /// are the electrical levels of the incoming channels (post-optics).
+  Result receive(const OpticalTransmitter::Output& signals,
+                 Picoseconds slot_start);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+  /// Renders one channel and returns its threshold crossings.
+  std::vector<sig::Crossing> recover_clock_edges(
+      const OpticalTransmitter::Output& signals, Picoseconds t_begin,
+      Picoseconds t_end) const;
+
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace mgt::testbed

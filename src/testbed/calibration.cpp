@@ -1,0 +1,128 @@
+#include "testbed/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace mgt::testbed {
+
+namespace {
+
+/// First transition time of `signal` at or after `t_begin`; throws when
+/// the channel is dead.
+double first_edge_after(const sig::EdgeStream& signal, Picoseconds t_begin) {
+  for (const auto& tr : signal.transitions()) {
+    if (tr.time >= t_begin) {
+      return tr.time.ps();
+    }
+  }
+  throw Error("calibration: channel produced no edges");
+}
+
+/// Calibration pattern: a packet whose payload channels toggle every bit.
+/// The first payload transition is an unambiguous marker edge: comparing
+/// it to the clock channel's first window edge measures skew over the
+/// whole delay-line range (dense-edge matching would alias beyond half a
+/// clock period).
+TestbedPacket alignment_packet(const SlotFormat& format) {
+  TestbedPacket packet;
+  for (auto& lane : packet.payload) {
+    lane = BitVector::alternating(format.data_bits, true);
+  }
+  packet.header = 0;
+  return packet;
+}
+
+}  // namespace
+
+double CalibrationReport::worst_residual_ps() const {
+  double worst = 0.0;
+  for (double r : residual_skew_ps) {
+    worst = std::max(worst, std::abs(r));
+  }
+  return worst;
+}
+
+bool CalibrationReport::within(double bound_ps) const {
+  return worst_residual_ps() <= bound_ps;
+}
+
+std::array<double, kHighSpeedChannels> measure_channel_skew(
+    OpticalTransmitter& tx, std::size_t averaging_slots) {
+  MGT_CHECK(averaging_slots >= 1);
+  const SlotFormat& fmt = tx.config().format;
+  const auto packet = alignment_packet(fmt);
+
+  // The clock's first window edge leads the first payload edge by the
+  // pre-clock bits; anything beyond that is channel skew.
+  const double nominal_lead =
+      static_cast<double>(fmt.pre_clock_bits) * fmt.ui.ps();
+
+  std::array<RunningStats, kHighSpeedChannels> stats{};
+  for (std::size_t slot = 0; slot < averaging_slots; ++slot) {
+    const Picoseconds t_start{static_cast<double>(slot) * 4.0 *
+                              fmt.slot_duration().ps()};
+    const auto out = tx.transmit(packet, t_start);
+    const double t_clock = first_edge_after(out.clock, t_start);
+    for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+      const double t_data = first_edge_after(out.data[ch], t_start);
+      stats[ch].add(t_data - t_clock - nominal_lead);
+    }
+  }
+  std::array<double, kHighSpeedChannels> skew{};
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    skew[ch] = stats[ch].mean();
+  }
+  skew[kClockChannel] = 0.0;  // the reference, by definition
+  return skew;
+}
+
+CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
+                                        std::size_t averaging_slots) {
+  CalibrationReport report;
+  report.initial_skew_ps = measure_channel_skew(tx, averaging_slots);
+
+  const double step = tx.channel_delay(0).config().step.ps();
+  std::array<std::size_t, kHighSpeedChannels> codes{};
+  for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+    codes[ch] = tx.channel_delay(ch).code();
+  }
+
+  // Two correction passes: the first lands within one or two codes (the
+  // delay lines' own INL/offset errors are unknown a priori), the second
+  // trims the residual.
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto skew = measure_channel_skew(tx, averaging_slots);
+    // Delays can only be added, so align everyone to the latest channel.
+    const double latest = *std::max_element(skew.begin(), skew.end());
+    for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+      const double needed_ps = latest - skew[ch];
+      const auto delta =
+          static_cast<long>(std::lround(needed_ps / step));
+      const long code = static_cast<long>(codes[ch]) + delta;
+      const long max_code =
+          static_cast<long>(tx.channel_delay(ch).code_count()) - 1;
+      codes[ch] = static_cast<std::size_t>(std::clamp(code, 0L, max_code));
+      tx.set_channel_delay_code(ch, codes[ch]);
+    }
+  }
+
+  report.programmed_codes = codes;
+  report.residual_skew_ps = measure_channel_skew(tx, averaging_slots);
+  // Re-reference residuals to their own mean so a common-mode shift of the
+  // whole bus (which the receiver tracks source-synchronously) is not
+  // counted as skew.
+  double mean = 0.0;
+  for (double r : report.residual_skew_ps) {
+    mean += r;
+  }
+  mean /= static_cast<double>(kHighSpeedChannels);
+  for (double& r : report.residual_skew_ps) {
+    r -= mean;
+  }
+  return report;
+}
+
+}  // namespace mgt::testbed

@@ -1,0 +1,52 @@
+// Transmitter channel deskew calibration.
+//
+// Section 3: "The relative timing for leading and trailing edges for both
+// data and Framing/Header signals must be controlled with 10 ps resolution
+// ... a 10 ns range for the placement of these edges is also required."
+// The per-channel programmable delay lines provide the actuator; this
+// module provides the measurement-and-correct procedure a test engineer
+// runs at bring-up: measure each channel's skew against the clock channel,
+// program the delay codes that align them, verify the residual.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "testbed/transmitter.hpp"
+
+namespace mgt::testbed {
+
+/// Result of calibrating one transmitter.
+struct CalibrationReport {
+  /// Skew of each high-speed channel relative to the clock channel before
+  /// calibration (ps; positive = later than clock).
+  std::array<double, kHighSpeedChannels> initial_skew_ps{};
+  /// Delay codes programmed by the calibration.
+  std::array<std::size_t, kHighSpeedChannels> programmed_codes{};
+  /// Residual skew after calibration.
+  std::array<double, kHighSpeedChannels> residual_skew_ps{};
+
+  /// Worst |residual| across channels.
+  [[nodiscard]] double worst_residual_ps() const;
+  /// True when every residual is within the bound (paper: ~+-25 ps).
+  [[nodiscard]] bool within(double bound_ps) const;
+};
+
+/// Measures each channel's mean edge time relative to the clock channel
+/// using a repeated alignment pattern, then programs the delay lines so
+/// all channels land on the latest one (delays can only add). Returns the
+/// report; the transmitter is left calibrated.
+///
+/// `averaging_slots` sets how many packet slots are averaged per
+/// measurement (more slots average down the random jitter).
+CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
+                                        std::size_t averaging_slots = 8);
+
+/// Measures the current per-channel skew (relative to the clock channel)
+/// without changing any programming. Element kClockChannel is 0 by
+/// construction.
+std::array<double, kHighSpeedChannels> measure_channel_skew(
+    OpticalTransmitter& tx, std::size_t averaging_slots = 8);
+
+}  // namespace mgt::testbed

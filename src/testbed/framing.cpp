@@ -1,0 +1,85 @@
+#include "testbed/framing.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::testbed {
+
+void SlotFormat::validate() const {
+  MGT_CHECK(ui.ps() > 0.0);
+  MGT_CHECK(dead_bits + 2 * guard_bits + window_bits == slot_bits,
+            "slot layout must close: dead + 2*guard + window == slot");
+  MGT_CHECK(pre_clock_bits + data_bits + post_clock_bits == window_bits,
+            "window layout must close: pre + data + post == window");
+}
+
+SlotBits build_slot(const SlotFormat& format, const TestbedPacket& packet) {
+  format.validate();
+  for (const auto& lane : packet.payload) {
+    MGT_CHECK(lane.size() == format.data_bits,
+              "payload lane length must equal data_bits");
+  }
+
+  SlotBits out;
+  const std::size_t n = format.slot_bits;
+
+  // Source-synchronous clock: toggles every bit period through the valid
+  // window (pre-clocks, data, post-clocks), idle elsewhere.
+  out.clock = BitVector(n);
+  for (std::size_t i = format.window_start(); i < format.window_end(); ++i) {
+    out.clock.set(i, (i - format.window_start()) % 2 == 0);
+  }
+
+  // Payload channels: data bits in the data window, idle (low) elsewhere.
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    out.data[ch] = BitVector(n);
+    for (std::size_t k = 0; k < format.data_bits; ++k) {
+      out.data[ch].set(format.data_start() + k, packet.payload[ch].get(k));
+    }
+  }
+
+  // Frame bit: asserted across the valid data window only.
+  out.frame = BitVector(n);
+  for (std::size_t i = format.data_start(); i < format.data_end(); ++i) {
+    out.frame.set(i, true);
+  }
+
+  // Header channels: each holds its routing-address bit across the window
+  // (much slower than the payload, as in the paper).
+  for (std::size_t ch = 0; ch < kHeaderChannels; ++ch) {
+    const bool bit = (packet.header >> ch) & 1u;
+    out.header[ch] = BitVector(n);
+    if (bit) {
+      for (std::size_t i = format.window_start(); i < format.window_end();
+           ++i) {
+        out.header[ch].set(i, true);
+      }
+    }
+  }
+  return out;
+}
+
+TestbedPacket parse_slot(const SlotFormat& format, const SlotBits& bits) {
+  format.validate();
+  TestbedPacket packet;
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    MGT_CHECK(bits.data[ch].size() == format.slot_bits,
+              "slot channel length mismatch");
+    packet.payload[ch] =
+        bits.data[ch].slice(format.data_start(), format.data_bits);
+  }
+  const std::size_t mid = (format.window_start() + format.window_end()) / 2;
+  for (std::size_t ch = 0; ch < kHeaderChannels; ++ch) {
+    if (bits.header[ch].get(mid)) {
+      packet.header |= static_cast<std::uint8_t>(1u << ch);
+    }
+  }
+  // Frame integrity: asserted through the data window, deasserted outside.
+  MGT_CHECK(bits.frame.get(format.data_start()) &&
+                bits.frame.get(format.data_end() - 1),
+            "frame bit missing over the data window");
+  MGT_CHECK(!bits.frame.get(format.window_start() - 1),
+            "frame bit asserted outside the window");
+  return packet;
+}
+
+}  // namespace mgt::testbed

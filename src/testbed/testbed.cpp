@@ -1,0 +1,146 @@
+#include "testbed/testbed.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::testbed {
+
+OpticalTestbed::OpticalTestbed(Config config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      tx_(OpticalTransmitter::Config{.format = config.format,
+                                     .channel = config.channel},
+          seed ^ 0x7E57BEDull),
+      rx_(Receiver::Config{.format = config.format}),
+      fabric_(vortex::Geometry::for_heights(config.ports, config.angles)),
+      path_(config.path) {
+  MGT_CHECK(config_.signal_check_period >= 1);
+  // One laser/detector pair per high-speed channel, on a WDM grid.
+  for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+    vortex::LaserDriver::Config laser = config_.laser;
+    laser.wavelength_nm += 1.6 * static_cast<double>(ch);  // 200 GHz grid
+    lasers_.emplace_back(laser, rng_.fork());
+    detectors_.emplace_back(config_.detector, rng_.fork());
+  }
+}
+
+OpticalTestbed::SingleResult OpticalTestbed::send_one(
+    const TestbedPacket& packet) {
+  auto signals = tx_.transmit(packet, Picoseconds{0.0});
+
+  // E/O -> fiber -> O/E, per channel.
+  auto through_optics = [&](const sig::EdgeStream& electrical,
+                            std::size_t ch) {
+    const auto launched = lasers_[ch].modulate(electrical);
+    const auto received = path_.propagate(launched);
+    return detectors_[ch].detect(received);
+  };
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    signals.data[ch] = through_optics(signals.data[ch], ch);
+  }
+  signals.clock = through_optics(signals.clock, kClockChannel);
+  // Frame/header ride the electrical sideband (lower speed, no optics in
+  // the present test bed).
+  const Picoseconds optical_delay =
+      path_.delay() + lasers_.front().config().prop_delay +
+      detectors_.front().config().prop_delay;
+  signals.frame = signals.frame.shifted(optical_delay);
+  for (auto& h : signals.header) {
+    h = h.shifted(optical_delay);
+  }
+
+  const auto result = rx_.receive(signals, optical_delay);
+
+  SingleResult out;
+  out.sent = packet;
+  out.received = result.packet;
+  out.frame_ok = result.frame_ok;
+  out.captured = result.captured;
+  out.header_ok = result.packet.header == packet.header;
+  if (result.captured) {
+    for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+      out.payload_bit_errors +=
+          result.packet.payload[ch].hamming_distance(packet.payload[ch]);
+    }
+  } else {
+    out.payload_bit_errors = kDataChannels * config_.format.data_bits;
+  }
+  return out;
+}
+
+void OpticalTestbed::signal_check(const vortex::Packet& packet,
+                                  RunStats& stats) {
+  TestbedPacket tb;
+  tb.header = static_cast<std::uint8_t>(packet.destination);
+  MGT_CHECK(packet.payload.size() == kDataChannels * config_.format.data_bits,
+            "fabric packet payload width mismatch");
+  const auto lanes = packet.payload.deinterleave(kDataChannels);
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    tb.payload[ch] = lanes[ch];
+  }
+
+  const auto result = send_one(tb);
+  ++stats.signal_checks;
+  stats.payload_bit_errors += result.payload_bit_errors;
+  if (!result.header_ok) {
+    ++stats.header_errors;
+  }
+  if (!result.frame_ok) {
+    ++stats.frame_failures;
+  }
+}
+
+OpticalTestbed::RunStats OpticalTestbed::run(double offered_load,
+                                             std::size_t n_slots) {
+  MGT_CHECK(offered_load >= 0.0 && offered_load <= 1.0);
+  RunStats stats;
+  stats.budget =
+      vortex::compute_link_budget(config_.laser, config_.path,
+                                  config_.detector);
+
+  RunningStats latency;
+  RunningStats deflections;
+  std::uint64_t min_lat = ~0ull;
+  std::uint64_t max_lat = 0;
+
+  auto absorb = [&](const std::vector<vortex::Delivery>& deliveries) {
+    for (const auto& d : deliveries) {
+      latency.add(static_cast<double>(d.latency_slots()));
+      deflections.add(static_cast<double>(d.packet.deflections));
+      min_lat = std::min(min_lat, d.latency_slots());
+      max_lat = std::max(max_lat, d.latency_slots());
+      MGT_CHECK(d.output_port == d.packet.destination,
+                "fabric delivered a packet to the wrong port");
+      if (d.packet.id % config_.signal_check_period == 0) {
+        signal_check(d.packet, stats);
+      }
+    }
+  };
+
+  for (std::size_t slot = 0; slot < n_slots; ++slot) {
+    for (std::size_t port = 0; port < config_.ports; ++port) {
+      if (!rng_.chance(offered_load)) {
+        continue;
+      }
+      vortex::Packet p;
+      p.id = next_packet_id_++;
+      p.destination = static_cast<std::uint32_t>(
+          rng_.below(config_.ports));
+      p.payload = BitVector::random(
+          kDataChannels * config_.format.data_bits, rng_);
+      fabric_.inject(std::move(p), port);
+    }
+    absorb(fabric_.step());
+  }
+  std::vector<vortex::Delivery> tail;
+  fabric_.drain(tail, 100000);
+  absorb(tail);
+
+  stats.fabric = fabric_.stats();
+  stats.mean_latency_slots = latency.mean();
+  stats.mean_deflections = deflections.mean();
+  stats.min_latency_slots = latency.count() ? min_lat : 0;
+  stats.max_latency_slots = max_lat;
+  return stats;
+}
+
+}  // namespace mgt::testbed

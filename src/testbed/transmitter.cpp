@@ -1,0 +1,137 @@
+#include "testbed/transmitter.hpp"
+
+#include "digital/bitstream.hpp"
+#include "util/error.hpp"
+
+namespace mgt::testbed {
+
+namespace {
+constexpr std::uint8_t kUsbAddress = 6;
+}
+
+OpticalTransmitter::OpticalTransmitter(Config config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      dlc_(config.channel.dlc_spec),
+      usb_device_(kUsbAddress, dlc_.usb_handler()),
+      usb_host_(usb_device_) {
+  config_.format.validate();
+  usb_device_.set_bulk_handler(1, dlc_.usb_bulk_pattern_handler());
+
+  dig::Bitstream bitstream;
+  bitstream.design_name = "optical-testbed-tx";
+  bitstream.payload.assign(512, 0x3C);
+  dlc_.configure(bitstream);
+
+  usb_host_.write_register(
+      dig::reg::kLaneCount,
+      static_cast<std::uint32_t>(
+          pecl::SerializerTree(config_.channel.serializer, rng_.fork())
+              .total_lanes()));
+
+  channels_.reserve(kHighSpeedChannels);
+  for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+    channels_.push_back(HighSpeedChannel{
+        .serializer =
+            pecl::SerializerTree(config_.channel.serializer, rng_.fork()),
+        .buffer = pecl::OutputBuffer(config_.channel.buffer, rng_.fork()),
+        .delay = pecl::ProgrammableDelay(pecl::ProgrammableDelay::Config{},
+                                         rng_.fork()),
+    });
+  }
+}
+
+void OpticalTransmitter::set_channel_delay_code(std::size_t channel,
+                                                std::size_t code) {
+  MGT_CHECK(channel < channels_.size(), "channel index out of range");
+  channels_[channel].delay.set_code(code);
+}
+
+const pecl::ProgrammableDelay& OpticalTransmitter::channel_delay(
+    std::size_t channel) const {
+  MGT_CHECK(channel < channels_.size(), "channel index out of range");
+  return channels_[channel].delay;
+}
+
+void OpticalTransmitter::program_channel(std::uint32_t channel,
+                                         const BitVector& bits) {
+  // Stream the whole bank in one bulk transfer: [channel | bits | words].
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8 + (bits.size() + 31) / 32 * 4);
+  auto put_u32 = [&](std::uint32_t v) {
+    payload.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    payload.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+    payload.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+    payload.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+  };
+  put_u32(channel);
+  put_u32(static_cast<std::uint32_t>(bits.size()));
+  for (std::size_t w = 0; w * 32 < bits.size(); ++w) {
+    std::uint32_t word = 0;
+    for (std::size_t b = 0; b < 32 && w * 32 + b < bits.size(); ++b) {
+      word |= static_cast<std::uint32_t>(bits.get(w * 32 + b)) << b;
+    }
+    put_u32(word);
+  }
+  usb_host_.bulk_write(1, payload);
+}
+
+OpticalTransmitter::Output OpticalTransmitter::transmit(
+    const TestbedPacket& packet, Picoseconds t_start) {
+  Output out;
+  out.bits = build_slot(config_.format, packet);
+  out.ui = config_.format.ui;
+
+  const GbitsPerSec rate = GbitsPerSec::from_ui(config_.format.ui);
+  dlc_.check_lane_rate(rate);
+
+  // Program every channel bank over USB, then start the run.
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    program_channel(static_cast<std::uint32_t>(ch), out.bits.data[ch]);
+  }
+  program_channel(kClockChannel, out.bits.clock);
+  usb_host_.write_register(dig::reg::kCtrl, dig::reg::kCtrlModePattern |
+                                                dig::reg::kCtrlStart);
+
+  auto serialize_channel = [&](std::size_t ch,
+                               const BitVector& bits) -> sig::EdgeStream {
+    // The DLC plays the uploaded bank; the serializer/buffer/delay chain
+    // shapes its timing.
+    usb_host_.write_register(dig::reg::kChannelSel,
+                             static_cast<std::uint32_t>(ch));
+    const BitVector serial = dlc_.expected_serial(bits.size());
+    auto& hw = channels_[ch];
+    sig::EdgeStream edges = hw.serializer.serialize(serial, rate, t_start);
+    edges = hw.buffer.apply(edges);
+    return hw.delay.apply(edges);
+  };
+
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    out.data[ch] = serialize_channel(ch, out.bits.data[ch]);
+  }
+  out.clock = serialize_channel(kClockChannel, out.bits.clock);
+
+  // Frame + header come straight off FPGA I/O: slower edges, more jitter,
+  // a different (CMOS) delay.
+  auto fpga_offset = [this](std::size_t, Picoseconds) {
+    return Picoseconds{rng_.gaussian(0.0, config_.fpga_io_rj_sigma.ps())};
+  };
+  const Picoseconds fpga_t0 = t_start + config_.fpga_io_delay;
+  BitVector frame_bits = out.bits.frame;
+  out.frame = sig::EdgeStream::from_bits(frame_bits, config_.format.ui,
+                                         fpga_t0, fpga_offset);
+  for (std::size_t ch = 0; ch < kHeaderChannels; ++ch) {
+    out.header[ch] = sig::EdgeStream::from_bits(
+        out.bits.header[ch], config_.format.ui, fpga_t0, fpga_offset);
+  }
+
+  const auto& hw0 = channels_.front();
+  hw0.buffer.contribute(out.chain);
+  out.levels = hw0.buffer.levels();
+  out.grid_origin = t_start + hw0.serializer.total_prop_delay() +
+                    hw0.buffer.config().prop_delay +
+                    hw0.delay.config().insertion_delay;
+  return out;
+}
+
+}  // namespace mgt::testbed

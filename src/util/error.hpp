@@ -1,0 +1,45 @@
+// Error handling for the mgt library.
+//
+// Precondition violations are programming errors and throw mgt::Error with a
+// message that names the violated condition and its source location.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mgt {
+
+/// Exception thrown on contract violations and unrecoverable configuration
+/// errors anywhere in the mgt library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_check_failure(const char* cond,
+                                             const std::string& msg,
+                                             const std::source_location& loc) {
+  std::string full = std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": check failed: " + cond;
+  if (!msg.empty()) {
+    full += " (" + msg + ")";
+  }
+  throw Error(full);
+}
+}  // namespace detail
+
+/// Verify a precondition; throws mgt::Error naming the condition on failure.
+inline void check(bool ok, const char* cond, const std::string& msg = {},
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!ok) {
+    detail::raise_check_failure(cond, msg, loc);
+  }
+}
+
+}  // namespace mgt
+
+/// Contract check macro: MGT_CHECK(x > 0) or MGT_CHECK(x > 0, "x is a size").
+#define MGT_CHECK(cond, ...) ::mgt::check((cond), #cond __VA_OPT__(, ) __VA_ARGS__)

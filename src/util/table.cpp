@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mgt {
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  MGT_CHECK(!headers_.empty());
+}
+
+void ReportTable::add_row(std::vector<std::string> cells) {
+  MGT_CHECK(cells.size() == headers_.size(),
+            "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::add_comparison(const std::string& metric,
+                                 const std::string& paper,
+                                 const std::string& measured,
+                                 const std::string& note) {
+  add_row({metric, paper, measured, note});
+}
+
+void ReportTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c]
+         << " | ";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  os << "\n=== " << title_ << " ===\n";
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << value;
+  return ss.str();
+}
+
+std::string fmt_unit(double value, const std::string& unit, int digits) {
+  return fmt(value, digits) + " " + unit;
+}
+
+}  // namespace mgt

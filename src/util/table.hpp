@@ -1,0 +1,40 @@
+// Plain-text report tables for the benchmark harness.
+//
+// Every bench binary prints a "paper vs measured" table through this helper
+// so EXPERIMENTS.md rows can be regenerated mechanically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mgt {
+
+/// Fixed-width text table with a title, column headers and string cells.
+class ReportTable {
+public:
+  ReportTable(std::string title, std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for the common "metric | paper | measured | note" shape.
+  void add_comparison(const std::string& metric, const std::string& paper,
+                      const std::string& measured,
+                      const std::string& note = {});
+
+  void print(std::ostream& os) const;
+
+private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, e.g. fmt(46.71, 1)
+/// -> "46.7".
+std::string fmt(double value, int digits = 2);
+
+/// Formats "value unit", e.g. fmt_unit(46.7, "ps").
+std::string fmt_unit(double value, const std::string& unit, int digits = 2);
+
+}  // namespace mgt

@@ -1,0 +1,143 @@
+// Strong unit types used throughout the mgt library.
+//
+// All times are picoseconds, all voltages are millivolts, all data rates are
+// gigabits per second, all frequencies are gigahertz. The types are thin
+// wrappers over double that make unit mistakes a compile error while staying
+// trivially copyable and as cheap as raw doubles.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace mgt {
+
+namespace detail {
+
+/// CRTP base providing arithmetic for a strong scalar unit.
+template <typename Derived>
+struct Scalar {
+  double v = 0.0;
+
+  constexpr Scalar() = default;
+  constexpr explicit Scalar(double value) : v(value) {}
+
+  [[nodiscard]] constexpr double value() const { return v; }
+
+  friend constexpr auto operator<=>(const Derived& a, const Derived& b) {
+    return a.v <=> b.v;
+  }
+  friend constexpr bool operator==(const Derived& a, const Derived& b) {
+    return a.v == b.v;
+  }
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.v + b.v};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.v - b.v};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.v}; }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.v * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.v * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.v / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) { return a.v / b.v; }
+  constexpr Derived& operator+=(Derived o) {
+    v += o.v;
+    return *static_cast<Derived*>(this);
+  }
+  constexpr Derived& operator-=(Derived o) {
+    v -= o.v;
+    return *static_cast<Derived*>(this);
+  }
+  constexpr Derived& operator*=(double s) {
+    v *= s;
+    return *static_cast<Derived*>(this);
+  }
+};
+
+}  // namespace detail
+
+/// Time in picoseconds.
+struct Picoseconds : detail::Scalar<Picoseconds> {
+  using Scalar::Scalar;
+  [[nodiscard]] constexpr double ps() const { return v; }
+  [[nodiscard]] constexpr double ns() const { return v * 1e-3; }
+  [[nodiscard]] constexpr double us() const { return v * 1e-6; }
+  [[nodiscard]] static constexpr Picoseconds from_ns(double ns) {
+    return Picoseconds{ns * 1e3};
+  }
+};
+
+/// Voltage in millivolts.
+struct Millivolts : detail::Scalar<Millivolts> {
+  using Scalar::Scalar;
+  [[nodiscard]] constexpr double mv() const { return v; }
+  [[nodiscard]] constexpr double volts() const { return v * 1e-3; }
+};
+
+/// Frequency in gigahertz.
+struct Gigahertz : detail::Scalar<Gigahertz> {
+  using Scalar::Scalar;
+  [[nodiscard]] constexpr double ghz() const { return v; }
+  [[nodiscard]] constexpr double mhz() const { return v * 1e3; }
+  /// Period of one cycle.
+  [[nodiscard]] constexpr Picoseconds period() const {
+    return Picoseconds{1e3 / v};
+  }
+};
+
+/// Data rate in gigabits per second.
+struct GbitsPerSec : detail::Scalar<GbitsPerSec> {
+  using Scalar::Scalar;
+  [[nodiscard]] constexpr double gbps() const { return v; }
+  [[nodiscard]] constexpr double mbps() const { return v * 1e3; }
+  /// Unit interval (bit period).
+  [[nodiscard]] constexpr Picoseconds unit_interval() const {
+    return Picoseconds{1e3 / v};
+  }
+  [[nodiscard]] static constexpr GbitsPerSec from_ui(Picoseconds ui) {
+    return GbitsPerSec{1e3 / ui.ps()};
+  }
+};
+
+namespace literals {
+constexpr Picoseconds operator""_ps(long double x) {
+  return Picoseconds{static_cast<double>(x)};
+}
+constexpr Picoseconds operator""_ps(unsigned long long x) {
+  return Picoseconds{static_cast<double>(x)};
+}
+constexpr Picoseconds operator""_ns(long double x) {
+  return Picoseconds{static_cast<double>(x) * 1e3};
+}
+constexpr Picoseconds operator""_ns(unsigned long long x) {
+  return Picoseconds{static_cast<double>(x) * 1e3};
+}
+constexpr Millivolts operator""_mV(long double x) {
+  return Millivolts{static_cast<double>(x)};
+}
+constexpr Millivolts operator""_mV(unsigned long long x) {
+  return Millivolts{static_cast<double>(x)};
+}
+constexpr Gigahertz operator""_GHz(long double x) {
+  return Gigahertz{static_cast<double>(x)};
+}
+constexpr Gigahertz operator""_GHz(unsigned long long x) {
+  return Gigahertz{static_cast<double>(x)};
+}
+constexpr GbitsPerSec operator""_Gbps(long double x) {
+  return GbitsPerSec{static_cast<double>(x)};
+}
+constexpr GbitsPerSec operator""_Gbps(unsigned long long x) {
+  return GbitsPerSec{static_cast<double>(x)};
+}
+}  // namespace literals
+
+}  // namespace mgt

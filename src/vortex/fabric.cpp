@@ -1,0 +1,144 @@
+#include "vortex/fabric.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::vortex {
+
+DataVortex::DataVortex(Geometry geometry)
+    : geometry_(geometry), nodes_(geometry.node_count()) {}
+
+std::optional<Packet>& DataVortex::slot_at(const NodeAddress& n) {
+  return nodes_[geometry_.flat_index(n)];
+}
+
+const std::optional<Packet>& DataVortex::slot_at(const NodeAddress& n) const {
+  return nodes_[geometry_.flat_index(n)];
+}
+
+bool DataVortex::can_inject(std::size_t port) const {
+  MGT_CHECK(port < geometry_.height_count, "input port out of range");
+  return !slot_at({0, injection_angle_, port}).has_value();
+}
+
+bool DataVortex::inject(Packet packet, std::size_t port) {
+  MGT_CHECK(port < geometry_.height_count, "input port out of range");
+  MGT_CHECK(packet.destination < geometry_.height_count,
+            "destination port out of range");
+  auto& entry = slot_at({0, injection_angle_, port});
+  if (entry.has_value()) {
+    ++stats_.rejected_injections;
+    return false;
+  }
+  packet.injected_slot = stats_.slots;
+  packet.hops = 0;
+  packet.deflections = 0;
+  entry = std::move(packet);
+  ++stats_.injected;
+  return true;
+}
+
+std::vector<Delivery> DataVortex::step() {
+  std::vector<std::optional<Packet>> next(nodes_.size());
+  std::vector<Delivery> delivered;
+  std::vector<bool> output_taken(geometry_.height_count, false);
+  const std::size_t core = geometry_.cylinder_count - 1;
+
+  // Innermost cylinder first: circulating traffic claims its next node
+  // before any descent from the cylinder outside it is evaluated, which is
+  // exactly the priority the optical control signals implement.
+  for (std::size_t ci = geometry_.cylinder_count; ci-- > 0;) {
+    for (std::size_t a = 0; a < geometry_.angle_count; ++a) {
+      for (std::size_t h = 0; h < geometry_.height_count; ++h) {
+        const NodeAddress here{ci, a, h};
+        auto& slot = nodes_[geometry_.flat_index(here)];
+        if (!slot.has_value()) {
+          continue;
+        }
+        Packet p = std::move(*slot);
+        slot.reset();
+        ++p.hops;
+        ++stats_.hops;
+
+        if (ci == core) {
+          if (!output_taken[h]) {
+            output_taken[h] = true;
+            ++stats_.delivered;
+            delivered.push_back(Delivery{.packet = std::move(p),
+                                         .output_port = static_cast<std::uint32_t>(h),
+                                         .delivered_slot = stats_.slots});
+          } else {
+            // Output contention: spiral another lap (virtual buffering).
+            ++p.deflections;
+            ++stats_.deflections;
+            auto& target = next[geometry_.flat_index(geometry_.hop(here))];
+            MGT_CHECK(!target.has_value(), "core lap collision");
+            target = std::move(p);
+          }
+          continue;
+        }
+
+        const bool may_descend =
+            geometry_.height_bit(h, ci) ==
+            p.header_bit(ci, geometry_.address_bits);
+        if (may_descend) {
+          auto& down = next[geometry_.flat_index(geometry_.descend(here))];
+          if (!down.has_value()) {
+            down = std::move(p);
+            continue;
+          }
+          // Blocked by traffic in the inner cylinder: deflect.
+          ++p.deflections;
+          ++stats_.deflections;
+        }
+        auto& around = next[geometry_.flat_index(geometry_.hop(here))];
+        MGT_CHECK(!around.has_value(), "cylinder lap collision");
+        around = std::move(p);
+      }
+    }
+  }
+
+  nodes_ = std::move(next);
+  ++stats_.slots;
+  return delivered;
+}
+
+bool DataVortex::drain(std::vector<Delivery>& deliveries,
+                       std::uint64_t max_slots) {
+  for (std::uint64_t i = 0; i < max_slots; ++i) {
+    if (occupancy() == 0) {
+      return true;
+    }
+    auto out = step();
+    deliveries.insert(deliveries.end(),
+                      std::make_move_iterator(out.begin()),
+                      std::make_move_iterator(out.end()));
+  }
+  return occupancy() == 0;
+}
+
+std::vector<std::pair<NodeAddress, std::uint64_t>> DataVortex::snapshot()
+    const {
+  std::vector<std::pair<NodeAddress, std::uint64_t>> out;
+  for (std::size_t c = 0; c < geometry_.cylinder_count; ++c) {
+    for (std::size_t a = 0; a < geometry_.angle_count; ++a) {
+      for (std::size_t h = 0; h < geometry_.height_count; ++h) {
+        const NodeAddress n{c, a, h};
+        const auto& slot = slot_at(n);
+        if (slot.has_value()) {
+          out.emplace_back(n, slot->id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t DataVortex::occupancy() const {
+  std::size_t n = 0;
+  for (const auto& slot : nodes_) {
+    n += slot.has_value() ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace mgt::vortex

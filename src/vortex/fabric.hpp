@@ -1,0 +1,83 @@
+// The Data Vortex switching fabric (refs [4], [5]).
+//
+// Slot-synchronous simulation: every packet makes exactly one move per
+// packet slot (descend toward the core, spiral within its cylinder, or
+// eject at the core). Descents yield to traffic already circulating in
+// the target cylinder — the deflection-routing discipline that replaces
+// buffering in the optical implementation.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "vortex/node.hpp"
+#include "vortex/packet.hpp"
+
+namespace mgt::vortex {
+
+/// Aggregate fabric statistics.
+struct FabricStats {
+  std::uint64_t slots = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t rejected_injections = 0;  // input blocked (node occupied)
+  std::uint64_t deflections = 0;          // non-progress moves
+  std::uint64_t hops = 0;
+
+  [[nodiscard]] std::uint64_t in_flight() const {
+    return injected - delivered;
+  }
+};
+
+class DataVortex {
+public:
+  explicit DataVortex(Geometry geometry);
+
+  [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t current_slot() const { return stats_.slots; }
+
+  /// Offers a packet at input port `port` (an outer-cylinder height) at the
+  /// injection angle. Returns false when the entry node is occupied — the
+  /// source must retry next slot (the fabric applies input backpressure
+  /// rather than dropping).
+  bool inject(Packet packet, std::size_t port);
+
+  /// True when input `port`'s entry node is free this slot.
+  [[nodiscard]] bool can_inject(std::size_t port) const;
+
+  /// Advances one packet slot; returns the packets delivered this slot.
+  std::vector<Delivery> step();
+
+  /// Runs until the fabric drains or `max_slots` elapse; appends
+  /// deliveries. Returns true if fully drained.
+  bool drain(std::vector<Delivery>& deliveries, std::uint64_t max_slots);
+
+  /// Packets currently inside the fabric.
+  [[nodiscard]] std::size_t occupancy() const;
+
+  /// Current position of every in-flight packet (for tracing/debugging).
+  [[nodiscard]] std::vector<std::pair<NodeAddress, std::uint64_t>> snapshot()
+      const;
+
+private:
+  [[nodiscard]] std::optional<Packet>& slot_at(const NodeAddress& n);
+  [[nodiscard]] const std::optional<Packet>& slot_at(const NodeAddress& n) const;
+
+  Geometry geometry_;
+  std::vector<std::optional<Packet>> nodes_;
+  FabricStats stats_;
+  std::size_t injection_angle_ = 0;
+};
+
+/// One point of a load/latency characterization run.
+struct LoadPoint {
+  double offered_load = 0.0;      // injection probability per input per slot
+  double throughput = 0.0;        // delivered packets per slot per port
+  double mean_latency_slots = 0.0;
+  double mean_deflections = 0.0;
+  double injection_block_rate = 0.0;
+};
+
+}  // namespace mgt::vortex

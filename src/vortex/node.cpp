@@ -1,0 +1,56 @@
+#include "vortex/node.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace mgt::vortex {
+
+Geometry Geometry::for_heights(std::size_t heights, std::size_t angles) {
+  MGT_CHECK(heights >= 2 && std::has_single_bit(heights),
+            "height count must be a power of two");
+  MGT_CHECK(angles >= 2, "need at least two angles");
+  Geometry g;
+  g.height_count = heights;
+  g.angle_count = angles;
+  g.address_bits = static_cast<std::size_t>(std::countr_zero(heights));
+  g.cylinder_count = g.address_bits + 1;
+  return g;
+}
+
+bool Geometry::height_bit(std::size_t height, std::size_t cylinder) const {
+  MGT_CHECK(cylinder < address_bits);
+  return (height >> (address_bits - 1 - cylinder)) & 1u;
+}
+
+NodeAddress Geometry::hop(const NodeAddress& from) const {
+  MGT_CHECK(from.cylinder < cylinder_count);
+  NodeAddress to = from;
+  to.angle = (from.angle + 1) % angle_count;
+  if (from.cylinder < address_bits) {
+    // Toggle the height bit this cylinder is responsible for, so a packet
+    // alternates between the two candidate heights and can always reach a
+    // descend opportunity within two hops.
+    to.height = from.height ^
+                (std::size_t{1} << (address_bits - 1 - from.cylinder));
+  }
+  // Innermost cylinder: spiral in place waiting for the output port
+  // (virtual buffering); height already equals the destination.
+  return to;
+}
+
+NodeAddress Geometry::descend(const NodeAddress& from) const {
+  MGT_CHECK(from.cylinder + 1 < cylinder_count, "cannot descend from core");
+  NodeAddress to = from;
+  to.cylinder = from.cylinder + 1;
+  to.angle = (from.angle + 1) % angle_count;
+  return to;
+}
+
+std::size_t Geometry::flat_index(const NodeAddress& n) const {
+  MGT_CHECK(n.cylinder < cylinder_count && n.angle < angle_count &&
+            n.height < height_count);
+  return (n.cylinder * angle_count + n.angle) * height_count + n.height;
+}
+
+}  // namespace mgt::vortex

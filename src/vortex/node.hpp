@@ -1,0 +1,54 @@
+// Data Vortex node addressing and movement rules.
+//
+// The fabric (Reed's "multiple level minimum logic network", ref [5]) is a
+// set of concentric cylinders. A node is addressed (cylinder, angle,
+// height). Packets spiral angle-by-angle around a cylinder and drop one
+// cylinder inward each time the next destination-address bit matches their
+// current height; blocked drops deflect into another lap (this is the
+// fabric's only buffering — "virtual buffering", ref [4]).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgt::vortex {
+
+/// Position of a node in the fabric.
+struct NodeAddress {
+  std::size_t cylinder = 0;
+  std::size_t angle = 0;
+  std::size_t height = 0;
+
+  friend bool operator==(const NodeAddress&, const NodeAddress&) = default;
+};
+
+/// Movement rules parameterized by fabric geometry.
+struct Geometry {
+  std::size_t height_count = 16;  // must be a power of two
+  std::size_t angle_count = 4;
+  std::size_t address_bits = 4;   // log2(height_count)
+  std::size_t cylinder_count = 5; // address_bits + 1
+
+  /// Builds a geometry for `heights` output ports (power of two).
+  static Geometry for_heights(std::size_t heights, std::size_t angles);
+
+  /// Target of an intra-cylinder (deflection/progress-seeking) hop from
+  /// (c, a, h): angle advances, and within cylinders that still route the
+  /// height bit for level c toggles so both values are visited.
+  [[nodiscard]] NodeAddress hop(const NodeAddress& from) const;
+
+  /// Target of a descent from (c, a, h) to the next cylinder.
+  [[nodiscard]] NodeAddress descend(const NodeAddress& from) const;
+
+  /// True when a packet whose height-bit for cylinder `c` equals its
+  /// destination bit may descend (height semantics: the top c bits of h
+  /// already match the destination while circulating cylinder c).
+  [[nodiscard]] bool height_bit(std::size_t height, std::size_t cylinder) const;
+
+  [[nodiscard]] std::size_t node_count() const {
+    return cylinder_count * angle_count * height_count;
+  }
+  [[nodiscard]] std::size_t flat_index(const NodeAddress& n) const;
+};
+
+}  // namespace mgt::vortex

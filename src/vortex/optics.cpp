@@ -1,0 +1,77 @@
+#include "vortex/optics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mgt::vortex {
+
+namespace {
+
+sig::EdgeStream delay_and_jitter(const sig::EdgeStream& in, double delay_ps,
+                                 double rj_sigma_ps, Rng& rng) {
+  sig::EdgeStream out(in.initial_level());
+  double last = -1e300;
+  for (const auto& tr : in.transitions()) {
+    double t = tr.time.ps() + delay_ps;
+    if (rj_sigma_ps > 0.0) {
+      t += rng.gaussian(0.0, rj_sigma_ps);
+    }
+    t = std::max(t, last + 1e-3);
+    out.push(Picoseconds{t}, tr.level);
+    last = t;
+  }
+  return out;
+}
+
+}  // namespace
+
+OpticalStream LaserDriver::modulate(const sig::EdgeStream& electrical) {
+  OpticalStream out;
+  out.wavelength_nm = config_.wavelength_nm;
+  out.power_dbm = config_.launch_power_dbm;
+  out.edges = delay_and_jitter(electrical, config_.prop_delay.ps(),
+                               config_.rj_sigma.ps(), rng_);
+  return out;
+}
+
+double OpticalPath::total_loss_db() const {
+  return config_.combiner_loss_db + config_.splitter_loss_db +
+         config_.fiber_loss_db_per_km * config_.fiber_length_m / 1000.0;
+}
+
+Picoseconds OpticalPath::delay() const {
+  return Picoseconds{config_.delay_ps_per_m * config_.fiber_length_m};
+}
+
+OpticalStream OpticalPath::propagate(const OpticalStream& in) const {
+  OpticalStream out = in;
+  out.power_dbm -= total_loss_db();
+  out.edges = in.edges.shifted(delay());
+  return out;
+}
+
+bool Photodetector::detects(const OpticalStream& in) const {
+  return in.power_dbm >= config_.sensitivity_dbm;
+}
+
+sig::EdgeStream Photodetector::detect(const OpticalStream& in) {
+  if (!detects(in)) {
+    throw Error("optical power below detector sensitivity: link budget");
+  }
+  return delay_and_jitter(in.edges, config_.prop_delay.ps(),
+                          config_.rj_sigma.ps(), rng_);
+}
+
+LinkBudget compute_link_budget(const LaserDriver::Config& laser,
+                               const OpticalPath::Config& path,
+                               const Photodetector::Config& detector) {
+  LinkBudget budget;
+  budget.launch_dbm = laser.launch_power_dbm;
+  budget.loss_db = OpticalPath(path).total_loss_db();
+  budget.received_dbm = budget.launch_dbm - budget.loss_db;
+  budget.sensitivity_dbm = detector.sensitivity_dbm;
+  return budget;
+}
+
+}  // namespace mgt::vortex

@@ -1,0 +1,112 @@
+// Electro-optic conversion chain for the optical test bed (Fig 3).
+//
+// The DLC's PECL outputs drive lasers of different wavelengths; the
+// optical signals are combined (WDM), switched by the Data Vortex, split,
+// and recovered by photodetectors. The model tracks a real power budget
+// (laser power, combiner/splitter and fiber losses, detector sensitivity)
+// and the timing cost of each conversion (delay + additive jitter).
+#pragma once
+
+#include <vector>
+
+#include "signal/edge.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mgt::vortex {
+
+/// An optical signal on one wavelength channel.
+struct OpticalStream {
+  double wavelength_nm = 1550.0;
+  double power_dbm = 0.0;
+  sig::EdgeStream edges;
+};
+
+/// E/O: laser + driver modulating one wavelength.
+class LaserDriver {
+public:
+  struct Config {
+    double wavelength_nm = 1550.0;
+    double launch_power_dbm = 3.0;
+    Picoseconds prop_delay{300.0};
+    Picoseconds rj_sigma{1.0};
+    /// Finite extinction: a residual "zero" level; tracked for the power
+    /// budget only.
+    double extinction_db = 12.0;
+  };
+
+  LaserDriver(Config config, Rng rng) : config_(config), rng_(rng) {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  OpticalStream modulate(const sig::EdgeStream& electrical);
+
+private:
+  Config config_;
+  Rng rng_;
+};
+
+/// Passive optical path: combiners, fiber, splitters.
+class OpticalPath {
+public:
+  struct Config {
+    double fiber_length_m = 10.0;
+    double fiber_loss_db_per_km = 0.25;
+    double combiner_loss_db = 3.5;   // WDM mux insertion loss
+    double splitter_loss_db = 3.5;   // demux/splitter loss
+    /// Group delay ~5 ns/m in fiber.
+    double delay_ps_per_m = 4900.0;
+  };
+
+  explicit OpticalPath(Config config) : config_(config) {}
+
+  [[nodiscard]] double total_loss_db() const;
+  [[nodiscard]] Picoseconds delay() const;
+
+  OpticalStream propagate(const OpticalStream& in) const;
+
+private:
+  Config config_;
+};
+
+/// O/E: photodetector + limiting amplifier.
+class Photodetector {
+public:
+  struct Config {
+    double sensitivity_dbm = -18.0;  // minimum detectable power
+    Picoseconds prop_delay{250.0};
+    Picoseconds rj_sigma{1.5};
+  };
+
+  Photodetector(Config config, Rng rng) : config_(config), rng_(rng) {}
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// True when the stream's power clears the sensitivity floor.
+  [[nodiscard]] bool detects(const OpticalStream& in) const;
+
+  /// Recovers the electrical signal; throws mgt::Error when the optical
+  /// power is below sensitivity (link budget violated).
+  sig::EdgeStream detect(const OpticalStream& in);
+
+private:
+  Config config_;
+  Rng rng_;
+};
+
+/// End-to-end link budget summary for documentation and tests.
+struct LinkBudget {
+  double launch_dbm = 0.0;
+  double loss_db = 0.0;
+  double received_dbm = 0.0;
+  double sensitivity_dbm = 0.0;
+  [[nodiscard]] double margin_db() const {
+    return received_dbm - sensitivity_dbm;
+  }
+};
+
+LinkBudget compute_link_budget(const LaserDriver::Config& laser,
+                               const OpticalPath::Config& path,
+                               const Photodetector::Config& detector);
+
+}  // namespace mgt::vortex

@@ -1,0 +1,12 @@
+#include "vortex/packet.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::vortex {
+
+bool Packet::header_bit(std::size_t c, std::size_t address_bits) const {
+  MGT_CHECK(c < address_bits, "cylinder index beyond address width");
+  return (destination >> (address_bits - 1 - c)) & 1u;
+}
+
+}  // namespace mgt::vortex

@@ -1,0 +1,144 @@
+#include "vortex/traffic.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace mgt::vortex {
+
+std::uint32_t traffic_destination(TrafficPattern pattern, std::size_t source,
+                                  std::size_t ports, Rng& rng,
+                                  double hotspot_fraction,
+                                  std::size_t hotspot_port) {
+  MGT_CHECK(source < ports);
+  switch (pattern) {
+    case TrafficPattern::Uniform:
+      return static_cast<std::uint32_t>(rng.below(ports));
+    case TrafficPattern::Hotspot:
+      if (rng.chance(hotspot_fraction)) {
+        return static_cast<std::uint32_t>(hotspot_port);
+      }
+      return static_cast<std::uint32_t>(rng.below(ports));
+    case TrafficPattern::BitReverse: {
+      std::size_t bits = 0;
+      while ((std::size_t{1} << bits) < ports) {
+        ++bits;
+      }
+      std::size_t rev = 0;
+      for (std::size_t b = 0; b < bits; ++b) {
+        rev |= ((source >> b) & 1u) << (bits - 1 - b);
+      }
+      return static_cast<std::uint32_t>(rev);
+    }
+    case TrafficPattern::Neighbor:
+      return static_cast<std::uint32_t>((source + 1) % ports);
+    case TrafficPattern::Tornado:
+      return static_cast<std::uint32_t>((source + ports / 2 - 1) % ports);
+  }
+  throw Error("unknown traffic pattern");
+}
+
+TrafficResult run_traffic(const Geometry& geometry, TrafficPattern pattern,
+                          double load, std::size_t slots, std::uint64_t seed,
+                          double hotspot_fraction) {
+  MGT_CHECK(load >= 0.0 && load <= 1.0);
+  DataVortex fabric(geometry);
+  Rng rng(seed);
+  const std::size_t ports = geometry.height_count;
+
+  std::uint64_t id = 1;
+  std::uint64_t attempts = 0;
+  std::uint64_t blocked = 0;
+  RunningStats latency;
+  RunningStats deflections;
+  std::vector<double> all_latencies;
+  std::vector<std::uint64_t> delivered_per_port(ports, 0);
+  // Flow-order tracking: highest packet id delivered so far per flow
+  // (ids are assigned in injection order).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> flow_high;
+  std::map<std::uint64_t, std::uint32_t> source_of;
+  std::uint64_t reordered = 0;
+
+  auto absorb = [&](const std::vector<Delivery>& deliveries) {
+    for (const auto& d : deliveries) {
+      latency.add(static_cast<double>(d.latency_slots()));
+      all_latencies.push_back(static_cast<double>(d.latency_slots()));
+      deflections.add(static_cast<double>(d.packet.deflections));
+      ++delivered_per_port[d.output_port];
+      const auto src_it = source_of.find(d.packet.id);
+      if (src_it != source_of.end()) {
+        const auto key = std::make_pair(src_it->second, d.output_port);
+        auto& high = flow_high[key];
+        if (d.packet.id < high) {
+          ++reordered;
+        } else {
+          high = d.packet.id;
+        }
+        source_of.erase(src_it);
+      }
+    }
+  };
+
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    for (std::size_t port = 0; port < ports; ++port) {
+      if (!rng.chance(load)) {
+        continue;
+      }
+      ++attempts;
+      Packet p;
+      p.id = id++;
+      p.destination =
+          traffic_destination(pattern, port, ports, rng, hotspot_fraction);
+      const std::uint64_t pid = p.id;
+      if (!fabric.inject(std::move(p), port)) {
+        ++blocked;
+      } else {
+        source_of[pid] = static_cast<std::uint32_t>(port);
+      }
+    }
+    absorb(fabric.step());
+  }
+  std::vector<Delivery> tail;
+  fabric.drain(tail, 1000000);
+  absorb(tail);
+
+  TrafficResult out;
+  out.offered_load = load;
+  out.throughput_per_port = static_cast<double>(fabric.stats().delivered) /
+                            static_cast<double>(slots) /
+                            static_cast<double>(ports);
+  out.mean_latency_slots = latency.mean();
+  out.mean_deflections = deflections.mean();
+  out.injection_block_rate =
+      attempts == 0 ? 0.0
+                    : static_cast<double>(blocked) /
+                          static_cast<double>(attempts);
+  if (!all_latencies.empty()) {
+    std::sort(all_latencies.begin(), all_latencies.end());
+    out.p99_latency_slots =
+        all_latencies[static_cast<std::size_t>(
+            0.99 * static_cast<double>(all_latencies.size() - 1))];
+  }
+  out.reorder_rate =
+      fabric.stats().delivered == 0
+          ? 0.0
+          : static_cast<double>(reordered) /
+                static_cast<double>(fabric.stats().delivered);
+  // Jain index over destinations that could receive traffic.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::uint64_t n : delivered_per_port) {
+    sum += static_cast<double>(n);
+    sum_sq += static_cast<double>(n) * static_cast<double>(n);
+  }
+  out.fairness = sum_sq == 0.0
+                     ? 0.0
+                     : sum * sum /
+                           (static_cast<double>(ports) * sum_sq);
+  return out;
+}
+
+}  // namespace mgt::vortex

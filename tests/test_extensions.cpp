@@ -1,0 +1,412 @@
+// Tests for the extension modules: SRAM pattern store, microcoded test
+// sequencer, dual-Dirac BER extrapolation, traffic patterns, wafer maps,
+// and transmitter deskew calibration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/berextrap.hpp"
+#include "digital/sequencer.hpp"
+#include "digital/sram.hpp"
+#include "minitester/minitester.hpp"
+#include "minitester/wafermap.hpp"
+#include "testbed/calibration.hpp"
+#include "testbed/receiver.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "vortex/traffic.hpp"
+
+namespace mgt {
+namespace {
+
+// ------------------------------------------------------------------ sram --
+
+TEST(SyncSram, ReadLatencyIsHonored) {
+  dig::SyncSram sram(dig::SyncSram::Config{.depth_words = 16,
+                                           .read_latency = 3});
+  sram.write_word(2, 0xDEADBEEF);
+  // Issue the read manually and count cycles to data.
+  auto r0 = sram.clock(dig::SyncSram::Command{.write = false, .address = 2});
+  EXPECT_FALSE(r0.has_value());
+  auto r1 = sram.clock(std::nullopt);
+  EXPECT_FALSE(r1.has_value());
+  auto r2 = sram.clock(std::nullopt);
+  EXPECT_FALSE(r2.has_value());
+  auto r3 = sram.clock(std::nullopt);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(*r3, 0xDEADBEEFu);
+}
+
+TEST(SyncSram, BlockingHelpersRoundTrip) {
+  dig::SyncSram sram;
+  for (std::uint32_t a = 0; a < 64; ++a) {
+    sram.write_word(a, a * 0x01010101u);
+  }
+  for (std::uint32_t a = 0; a < 64; ++a) {
+    EXPECT_EQ(sram.read_word(a), a * 0x01010101u);
+  }
+}
+
+TEST(SyncSram, OutOfRangeThrows) {
+  dig::SyncSram sram(dig::SyncSram::Config{.depth_words = 4});
+  EXPECT_THROW(sram.write_word(4, 0), Error);
+}
+
+TEST(SramPatternStore, StoreLoadRoundTrip) {
+  dig::SyncSram sram;
+  dig::SramPatternStore store(sram);
+  Rng rng(1);
+  const auto pattern = BitVector::random(10000, rng);
+  store.store(100, pattern);
+  std::uint64_t cycles = 0;
+  const auto back = store.load(100, 10000, &cycles);
+  EXPECT_EQ(back, pattern);
+  // Pipelined streaming: N words in ~N + latency cycles, not N * latency.
+  const std::uint64_t words = (10000 + 31) / 32;
+  EXPECT_LE(cycles, words + 8);
+}
+
+TEST(SramPatternStore, CapacityEnforced) {
+  dig::SyncSram sram(dig::SyncSram::Config{.depth_words = 4});
+  dig::SramPatternStore store(sram);
+  EXPECT_EQ(store.capacity_bits(), 128u);
+  EXPECT_THROW(store.store(0, BitVector(129, true)), Error);
+  EXPECT_THROW(store.load(3, 64), Error);
+}
+
+// -------------------------------------------------------------- sequencer --
+
+TEST(Sequencer, EmitLiteral) {
+  dig::TestSequencer sequencer({dig::seq::emit_literal(0b1011, 4),
+                                dig::seq::halt()});
+  EXPECT_EQ(sequencer.run().to_string(), "1101");  // LSB first
+}
+
+TEST(Sequencer, NestedLoopsMultiply) {
+  // for 3: { for 2: emit "10" } -> "10" * 6
+  dig::TestSequencer sequencer({
+      dig::seq::loop_begin(3),
+      dig::seq::loop_begin(2),
+      dig::seq::emit_literal(0b01, 2),
+      dig::seq::loop_end(),
+      dig::seq::loop_end(),
+      dig::seq::halt(),
+  });
+  EXPECT_EQ(sequencer.run().to_string(), "101010101010");
+}
+
+TEST(Sequencer, PatternBankReference) {
+  std::map<std::uint32_t, BitVector> banks;
+  banks[7] = BitVector::from_string("11001");
+  dig::TestSequencer sequencer({dig::seq::emit_pattern(7, 2),
+                                dig::seq::halt()},
+                               banks);
+  EXPECT_EQ(sequencer.run().to_string(), "1100111001");
+}
+
+TEST(Sequencer, CallAndReturn) {
+  // main: call 3; emit "0"; halt.   sub@3: emit "11"; ret.
+  dig::TestSequencer sequencer({
+      dig::seq::call(3),
+      dig::seq::emit_literal(0, 1),
+      dig::seq::halt(),
+      dig::seq::emit_literal(0b11, 2),
+      dig::seq::ret(),
+  });
+  EXPECT_EQ(sequencer.run().to_string(), "110");
+}
+
+TEST(Sequencer, EquivalentToAlgorithmicPattern) {
+  // A loop emitting 4 ones then 4 zeros == patterns::square.
+  dig::TestSequencer sequencer({
+      dig::seq::loop_begin(10),
+      dig::seq::emit_literal(0x0, 4),
+      dig::seq::emit_literal(0xF, 4),
+      dig::seq::loop_end(),
+      dig::seq::halt(),
+  });
+  EXPECT_EQ(sequencer.run(), dig::patterns::square(80, 4));
+}
+
+TEST(Sequencer, MalformedProgramsThrow) {
+  EXPECT_THROW(dig::TestSequencer({dig::seq::loop_end(), dig::seq::halt()})
+                   .run(),
+               Error);
+  EXPECT_THROW(dig::TestSequencer({dig::seq::ret(), dig::seq::halt()}).run(),
+               Error);
+  EXPECT_THROW(dig::TestSequencer({dig::seq::emit_literal(1, 1)}).run(),
+               Error);  // runs off the end
+  EXPECT_THROW(dig::TestSequencer({dig::seq::loop_begin(2),
+                                   dig::seq::halt()})
+                   .run(),
+               Error);  // halt inside open loop
+  EXPECT_THROW(dig::TestSequencer({dig::seq::emit_pattern(9, 1),
+                                   dig::seq::halt()})
+                   .run(),
+               Error);  // missing bank
+}
+
+TEST(Sequencer, WatchdogCatchesRunaway) {
+  dig::SequencerLimits limits;
+  limits.max_steps = 100;
+  // Infinite subroutine recursion is cut by the call-stack bound; a giant
+  // loop is cut by the watchdog.
+  dig::TestSequencer sequencer({
+      dig::seq::loop_begin(1u << 30),
+      dig::seq::emit_literal(1, 1),
+      dig::seq::loop_end(),
+      dig::seq::halt(),
+  },
+                               {}, limits);
+  EXPECT_THROW(sequencer.run(), Error);
+}
+
+TEST(Sequencer, LoopStackOverflowDetected) {
+  std::vector<dig::SeqInstruction> program;
+  for (int i = 0; i < 10; ++i) {
+    program.push_back(dig::seq::loop_begin(1));
+  }
+  program.push_back(dig::seq::halt());
+  EXPECT_THROW(dig::TestSequencer(program).run(), Error);
+}
+
+// ------------------------------------------------------------- berextrap --
+
+TEST(BerExtrap, InverseNormalCdfAccuracy) {
+  EXPECT_NEAR(ana::inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(ana::inverse_normal_cdf(0.8413447460685429), 1.0, 1e-6);
+  EXPECT_NEAR(ana::inverse_normal_cdf(0.9986501019683699), 3.0, 1e-6);
+  EXPECT_NEAR(ana::inverse_normal_cdf(1.0 - 0.9986501019683699), -3.0, 1e-6);
+  EXPECT_THROW(ana::inverse_normal_cdf(0.0), Error);
+  EXPECT_THROW(ana::inverse_normal_cdf(1.0), Error);
+}
+
+TEST(BerExtrap, QOfBer) {
+  EXPECT_NEAR(ana::q_of_ber(0.5), 0.0, 1e-9);
+  // BER 1e-12 corresponds to Q ~= 7.03.
+  EXPECT_NEAR(ana::q_of_ber(1e-12), 7.034, 0.01);
+}
+
+TEST(BerExtrap, FitRecoversSyntheticDualDirac) {
+  // Construct an ideal bathtub: edges at mu_l=20 ps and mu_r=180 ps with
+  // sigma = 4 ps on both sides.
+  const double sigma = 4.0;
+  const double mu_l = 20.0;
+  const double mu_r = 180.0;
+  std::vector<ana::BathtubPoint> scan;
+  for (double x = 0.0; x <= 200.0; x += 5.0) {
+    // BER on each side is the Gaussian tail beyond the strobe.
+    const double ql = (x - mu_l) / sigma;
+    const double qr = (mu_r - x) / sigma;
+    const double ber_l = 0.5 * std::erfc(ql / std::numbers::sqrt2);
+    const double ber_r = 0.5 * std::erfc(qr / std::numbers::sqrt2);
+    ana::BathtubPoint p;
+    p.strobe_offset = Picoseconds{x};
+    p.ber = std::min(0.5, ber_l + ber_r);
+    scan.push_back(p);
+  }
+  const auto fit = ana::fit_bathtub(scan, 1e-9);
+  ASSERT_TRUE(fit.valid());
+  EXPECT_NEAR(fit.left_sigma_ps, sigma, 0.5);
+  EXPECT_NEAR(fit.right_sigma_ps, sigma, 0.5);
+  EXPECT_NEAR(fit.left_mu_ps, mu_l, 2.0);
+  EXPECT_NEAR(fit.right_mu_ps, mu_r, 2.0);
+  // Eye at BER 1e-12: (mu_r - Q*sigma) - (mu_l + Q*sigma).
+  const double expected = (mu_r - mu_l) - 2.0 * 7.034 * sigma;
+  EXPECT_NEAR(fit.eye_at_ber_ps(1e-12), expected, 3.0);
+}
+
+TEST(BerExtrap, FitOnRealMinitesterBathtub) {
+  minitester::MiniTester tester(minitester::MiniTester::Config{}, 5);
+  tester.program_prbs(7, 0xACE1);
+  tester.start();
+  const auto scan = tester.bathtub(4096, 1);
+  const auto fit = ana::fit_bathtub(scan, 1e-5);
+  ASSERT_TRUE(fit.valid());
+  // Extrapolated deep-BER eye is narrower than the raw floor but positive.
+  const double floor_ps = ana::bathtub_opening(scan, 1e-6).ps();
+  const double deep = fit.eye_at_ber_ps(1e-12);
+  EXPECT_GT(deep, 0.0);
+  EXPECT_LT(deep, floor_ps + 10.0);
+}
+
+TEST(BerExtrap, DegenerateScanIsInvalid) {
+  EXPECT_FALSE(ana::fit_bathtub({}).valid());
+  std::vector<ana::BathtubPoint> flat(10);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    flat[i].strobe_offset = Picoseconds{static_cast<double>(i) * 10.0};
+    flat[i].ber = 0.0;
+  }
+  EXPECT_FALSE(ana::fit_bathtub(flat).valid());
+}
+
+// --------------------------------------------------------------- traffic --
+
+TEST(Traffic, DestinationsAreValidAndPatternShaped) {
+  Rng rng(1);
+  for (std::size_t src = 0; src < 16; ++src) {
+    EXPECT_EQ(vortex::traffic_destination(vortex::TrafficPattern::Neighbor,
+                                          src, 16, rng),
+              (src + 1) % 16);
+    EXPECT_EQ(vortex::traffic_destination(vortex::TrafficPattern::Tornado,
+                                          src, 16, rng),
+              (src + 7) % 16);
+    const auto uniform = vortex::traffic_destination(
+        vortex::TrafficPattern::Uniform, src, 16, rng);
+    EXPECT_LT(uniform, 16u);
+  }
+  // Bit reverse of 0b0001 in 4 bits is 0b1000.
+  EXPECT_EQ(vortex::traffic_destination(vortex::TrafficPattern::BitReverse,
+                                        1, 16, rng),
+            8u);
+}
+
+TEST(Traffic, HotspotSkewsDestinations) {
+  Rng rng(2);
+  std::size_t hits = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (vortex::traffic_destination(vortex::TrafficPattern::Hotspot, 3, 16,
+                                    rng, 0.5, 0) == 0) {
+      ++hits;
+    }
+  }
+  // 50 % direct + 1/16 of the uniform remainder ~ 53 %.
+  EXPECT_GT(hits, 400u);
+  EXPECT_LT(hits, 650u);
+}
+
+TEST(Traffic, UniformIsFairHotspotIsNot) {
+  const auto geometry = vortex::Geometry::for_heights(16, 4);
+  const auto uniform = vortex::run_traffic(
+      geometry, vortex::TrafficPattern::Uniform, 0.4, 500, 42);
+  const auto hotspot = vortex::run_traffic(
+      geometry, vortex::TrafficPattern::Hotspot, 0.4, 500, 42, 0.7);
+  EXPECT_GT(uniform.fairness, 0.95);
+  EXPECT_LT(hotspot.fairness, 0.6);
+  // The hot output port saturates: delivered throughput drops and packets
+  // spend laps waiting (virtual buffering).
+  EXPECT_LT(hotspot.throughput_per_port, uniform.throughput_per_port);
+  EXPECT_GT(hotspot.mean_latency_slots, uniform.mean_latency_slots);
+}
+
+TEST(Traffic, PermutationPatternsDeliverEverything) {
+  const auto geometry = vortex::Geometry::for_heights(16, 4);
+  for (auto pattern : {vortex::TrafficPattern::Neighbor,
+                       vortex::TrafficPattern::BitReverse,
+                       vortex::TrafficPattern::Tornado}) {
+    const auto result = vortex::run_traffic(geometry, pattern, 0.5, 300, 7);
+    // Permutations have no output contention: near-offered throughput and
+    // high fairness.
+    EXPECT_NEAR(result.throughput_per_port, 0.5, 0.05);
+    EXPECT_GT(result.fairness, 0.95);
+    EXPECT_GE(result.p99_latency_slots, result.mean_latency_slots);
+  }
+}
+
+// -------------------------------------------------------------- wafermap --
+
+TEST(WaferMap, GeometryIsCircular) {
+  minitester::WaferMap map(minitester::WaferMap::Config{}, Rng(1));
+  // Corners are outside, center is inside.
+  EXPECT_FALSE(map.in_wafer(0, 0));
+  EXPECT_FALSE(map.in_wafer(19, 19));
+  EXPECT_TRUE(map.in_wafer(10, 10));
+  // Die count is close to pi*r^2.
+  const double expected = 3.14159 * 10.0 * 10.0;
+  EXPECT_NEAR(static_cast<double>(map.die_count()), expected,
+              expected * 0.1);
+}
+
+TEST(WaferMap, ClustersRaiseLocalDefectDensity) {
+  minitester::WaferMap::Config config;
+  config.background_defect_rate = 0.0;
+  config.cluster_count = 1;
+  config.cluster_radius_dies = 3.0;
+  config.cluster_defect_rate = 1.0;
+  minitester::WaferMap map(config, Rng(7));
+  // All defects (if any landed on the wafer) are inside one disc of
+  // radius 3 -> a bounding box of ~7x7 dies.
+  std::size_t min_x = 99, max_x = 0, min_y = 99, max_y = 0;
+  std::size_t defects = 0;
+  for (std::size_t y = 0; y < 20; ++y) {
+    for (std::size_t x = 0; x < 20; ++x) {
+      if (map.in_wafer(x, y) &&
+          map.defect_at(x, y) != minitester::Defect::None) {
+        ++defects;
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+      }
+    }
+  }
+  ASSERT_GT(defects, 0u);
+  EXPECT_LE(max_x - min_x, 7u);
+  EXPECT_LE(max_y - min_y, 7u);
+}
+
+TEST(WaferMap, ProbeFindsExactlyTheDefects) {
+  minitester::WaferMap map(minitester::WaferMap::Config{}, Rng(3));
+  const auto outcome = map.probe(16, [](minitester::Defect defect) {
+    return defect == minitester::Defect::None;  // ideal screen
+  });
+  EXPECT_EQ(outcome.tested, map.die_count());
+  EXPECT_EQ(outcome.fails, map.defect_count());
+  EXPECT_NEAR(outcome.yield,
+              1.0 - static_cast<double>(map.defect_count()) /
+                        static_cast<double>(map.die_count()),
+              1e-9);
+  const auto art = outcome.ascii_art();
+  EXPECT_NE(art.find('.'), std::string::npos);
+  EXPECT_NE(art.find(' '), std::string::npos);
+}
+
+// ------------------------------------------------------------ calibration --
+
+TEST(Calibration, ReducesChannelSkewWithinSpec) {
+  testbed::OpticalTransmitter::Config config;
+  config.channel = core::presets::optical_testbed();
+  testbed::OpticalTransmitter tx(config, 99);
+  // Start badly misaligned: stagger the channels by 0..4 ns.
+  for (std::size_t ch = 0; ch < testbed::kHighSpeedChannels; ++ch) {
+    tx.set_channel_delay_code(ch, ch * 100);
+  }
+  const auto before = testbed::measure_channel_skew(tx);
+  double worst_before = 0.0;
+  for (double s : before) {
+    worst_before = std::max(worst_before, std::abs(s));
+  }
+  EXPECT_GT(worst_before, 900.0);  // ~1 ns of deliberate skew
+
+  const auto report = testbed::calibrate_transmitter(tx);
+  EXPECT_TRUE(report.within(25.0))
+      << "worst residual " << report.worst_residual_ps() << " ps";
+  EXPECT_GT(report.worst_residual_ps(), 0.0);  // real parts, real residue
+}
+
+TEST(Calibration, CalibratedBusReceivesCleanly) {
+  testbed::OpticalTransmitter::Config config;
+  config.channel = core::presets::optical_testbed();
+  testbed::OpticalTransmitter tx(config, 55);
+  for (std::size_t ch = 0; ch < testbed::kHighSpeedChannels; ++ch) {
+    tx.set_channel_delay_code(ch, (ch * 37) % 80);
+  }
+  testbed::calibrate_transmitter(tx);
+
+  testbed::Receiver rx(testbed::Receiver::Config{});
+  Rng rng(5);
+  testbed::TestbedPacket packet;
+  for (auto& lane : packet.payload) {
+    lane = BitVector::random(32, rng);
+  }
+  packet.header = 0x9;
+  const auto out = tx.transmit(packet, Picoseconds{0.0});
+  const auto result = rx.receive(out, Picoseconds{0.0});
+  ASSERT_TRUE(result.captured);
+  for (std::size_t ch = 0; ch < testbed::kDataChannels; ++ch) {
+    EXPECT_EQ(result.packet.payload[ch], packet.payload[ch]);
+  }
+}
+
+}  // namespace
+}  // namespace mgt
