@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_clocktree.cpp" "bench-build/CMakeFiles/bench_ablation_clocktree.dir/bench_ablation_clocktree.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_clocktree.dir/bench_ablation_clocktree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pecl/CMakeFiles/mgt_pecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/mgt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

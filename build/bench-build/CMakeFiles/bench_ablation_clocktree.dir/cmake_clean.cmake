@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_clocktree"
+  "../bench/bench_ablation_clocktree.pdb"
+  "CMakeFiles/bench_ablation_clocktree.dir/bench_ablation_clocktree.cpp.o"
+  "CMakeFiles/bench_ablation_clocktree.dir/bench_ablation_clocktree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clocktree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

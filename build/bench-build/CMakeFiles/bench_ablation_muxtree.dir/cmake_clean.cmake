@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_muxtree"
+  "../bench/bench_ablation_muxtree.pdb"
+  "CMakeFiles/bench_ablation_muxtree.dir/bench_ablation_muxtree.cpp.o"
+  "CMakeFiles/bench_ablation_muxtree.dir/bench_ablation_muxtree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_muxtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

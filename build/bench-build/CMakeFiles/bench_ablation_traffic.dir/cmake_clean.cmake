@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_traffic"
+  "../bench/bench_ablation_traffic.pdb"
+  "CMakeFiles/bench_ablation_traffic.dir/bench_ablation_traffic.cpp.o"
+  "CMakeFiles/bench_ablation_traffic.dir/bench_ablation_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

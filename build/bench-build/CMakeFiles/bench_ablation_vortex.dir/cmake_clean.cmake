@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_vortex"
+  "../bench/bench_ablation_vortex.pdb"
+  "CMakeFiles/bench_ablation_vortex.dir/bench_ablation_vortex.cpp.o"
+  "CMakeFiles/bench_ablation_vortex.dir/bench_ablation_vortex.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

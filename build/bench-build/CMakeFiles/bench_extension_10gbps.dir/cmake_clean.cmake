@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_10gbps"
+  "../bench/bench_extension_10gbps.pdb"
+  "CMakeFiles/bench_extension_10gbps.dir/bench_extension_10gbps.cpp.o"
+  "CMakeFiles/bench_extension_10gbps.dir/bench_extension_10gbps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_10gbps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

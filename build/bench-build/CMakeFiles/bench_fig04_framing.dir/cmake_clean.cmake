@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_framing"
+  "../bench/bench_fig04_framing.pdb"
+  "CMakeFiles/bench_fig04_framing.dir/bench_fig04_framing.cpp.o"
+  "CMakeFiles/bench_fig04_framing.dir/bench_fig04_framing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_framing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_tx_risefall"
+  "../bench/bench_fig06_tx_risefall.pdb"
+  "CMakeFiles/bench_fig06_tx_risefall.dir/bench_fig06_tx_risefall.cpp.o"
+  "CMakeFiles/bench_fig06_tx_risefall.dir/bench_fig06_tx_risefall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_tx_risefall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

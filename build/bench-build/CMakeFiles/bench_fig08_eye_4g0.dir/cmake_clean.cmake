@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_eye_4g0"
+  "../bench/bench_fig08_eye_4g0.pdb"
+  "CMakeFiles/bench_fig08_eye_4g0.dir/bench_fig08_eye_4g0.cpp.o"
+  "CMakeFiles/bench_fig08_eye_4g0.dir/bench_fig08_eye_4g0.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_eye_4g0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

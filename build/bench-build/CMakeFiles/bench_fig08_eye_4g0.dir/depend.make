@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_eye_4g0.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_edge_jitter"
+  "../bench/bench_fig09_edge_jitter.pdb"
+  "CMakeFiles/bench_fig09_edge_jitter.dir/bench_fig09_edge_jitter.cpp.o"
+  "CMakeFiles/bench_fig09_edge_jitter.dir/bench_fig09_edge_jitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_edge_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

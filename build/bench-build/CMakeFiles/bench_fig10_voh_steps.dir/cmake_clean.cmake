@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_voh_steps"
+  "../bench/bench_fig10_voh_steps.pdb"
+  "CMakeFiles/bench_fig10_voh_steps.dir/bench_fig10_voh_steps.cpp.o"
+  "CMakeFiles/bench_fig10_voh_steps.dir/bench_fig10_voh_steps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_voh_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_swing_steps"
+  "../bench/bench_fig11_swing_steps.pdb"
+  "CMakeFiles/bench_fig11_swing_steps.dir/bench_fig11_swing_steps.cpp.o"
+  "CMakeFiles/bench_fig11_swing_steps.dir/bench_fig11_swing_steps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_swing_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

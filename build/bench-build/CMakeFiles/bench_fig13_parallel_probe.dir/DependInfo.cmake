@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_parallel_probe.cpp" "bench-build/CMakeFiles/bench_fig13_parallel_probe.dir/bench_fig13_parallel_probe.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig13_parallel_probe.dir/bench_fig13_parallel_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minitester/CMakeFiles/mgt_minitester.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mgt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pecl/CMakeFiles/mgt_pecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/mgt_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mgt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/mgt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

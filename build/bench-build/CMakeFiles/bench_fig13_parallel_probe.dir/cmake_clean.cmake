@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_parallel_probe"
+  "../bench/bench_fig13_parallel_probe.pdb"
+  "CMakeFiles/bench_fig13_parallel_probe.dir/bench_fig13_parallel_probe.cpp.o"
+  "CMakeFiles/bench_fig13_parallel_probe.dir/bench_fig13_parallel_probe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_parallel_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_eye_2g5"
+  "../bench/bench_fig17_eye_2g5.pdb"
+  "CMakeFiles/bench_fig17_eye_2g5.dir/bench_fig17_eye_2g5.cpp.o"
+  "CMakeFiles/bench_fig17_eye_2g5.dir/bench_fig17_eye_2g5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_eye_2g5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

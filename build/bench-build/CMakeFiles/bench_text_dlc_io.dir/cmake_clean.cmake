@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_text_dlc_io"
+  "../bench/bench_text_dlc_io.pdb"
+  "CMakeFiles/bench_text_dlc_io.dir/bench_text_dlc_io.cpp.o"
+  "CMakeFiles/bench_text_dlc_io.dir/bench_text_dlc_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_dlc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

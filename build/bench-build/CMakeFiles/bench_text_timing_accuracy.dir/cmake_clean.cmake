@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_text_timing_accuracy"
+  "../bench/bench_text_timing_accuracy.pdb"
+  "CMakeFiles/bench_text_timing_accuracy.dir/bench_text_timing_accuracy.cpp.o"
+  "CMakeFiles/bench_text_timing_accuracy.dir/bench_text_timing_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text_timing_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jitter_lab_demo.dir/jitter_lab_demo.cpp.o"
+  "CMakeFiles/jitter_lab_demo.dir/jitter_lab_demo.cpp.o.d"
+  "jitter_lab_demo"
+  "jitter_lab_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jitter_lab_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_testbed_demo.dir/optical_testbed_demo.cpp.o"
+  "CMakeFiles/optical_testbed_demo.dir/optical_testbed_demo.cpp.o.d"
+  "optical_testbed_demo"
+  "optical_testbed_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_testbed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_engines_demo.dir/pattern_engines_demo.cpp.o"
+  "CMakeFiles/pattern_engines_demo.dir/pattern_engines_demo.cpp.o.d"
+  "pattern_engines_demo"
+  "pattern_engines_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_engines_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

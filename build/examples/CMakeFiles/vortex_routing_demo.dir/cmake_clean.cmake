@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vortex_routing_demo.dir/vortex_routing_demo.cpp.o"
+  "CMakeFiles/vortex_routing_demo.dir/vortex_routing_demo.cpp.o.d"
+  "vortex_routing_demo"
+  "vortex_routing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vortex_routing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

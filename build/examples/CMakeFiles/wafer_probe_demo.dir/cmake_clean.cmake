@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafer_probe_demo.dir/wafer_probe_demo.cpp.o"
+  "CMakeFiles/wafer_probe_demo.dir/wafer_probe_demo.cpp.o.d"
+  "wafer_probe_demo"
+  "wafer_probe_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafer_probe_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ber.cpp" "src/analysis/CMakeFiles/mgt_analysis.dir/ber.cpp.o" "gcc" "src/analysis/CMakeFiles/mgt_analysis.dir/ber.cpp.o.d"
+  "/root/repo/src/analysis/berextrap.cpp" "src/analysis/CMakeFiles/mgt_analysis.dir/berextrap.cpp.o" "gcc" "src/analysis/CMakeFiles/mgt_analysis.dir/berextrap.cpp.o.d"
+  "/root/repo/src/analysis/decompose.cpp" "src/analysis/CMakeFiles/mgt_analysis.dir/decompose.cpp.o" "gcc" "src/analysis/CMakeFiles/mgt_analysis.dir/decompose.cpp.o.d"
+  "/root/repo/src/analysis/eye.cpp" "src/analysis/CMakeFiles/mgt_analysis.dir/eye.cpp.o" "gcc" "src/analysis/CMakeFiles/mgt_analysis.dir/eye.cpp.o.d"
+  "/root/repo/src/analysis/risefall.cpp" "src/analysis/CMakeFiles/mgt_analysis.dir/risefall.cpp.o" "gcc" "src/analysis/CMakeFiles/mgt_analysis.dir/risefall.cpp.o.d"
+  "/root/repo/src/analysis/spectrum.cpp" "src/analysis/CMakeFiles/mgt_analysis.dir/spectrum.cpp.o" "gcc" "src/analysis/CMakeFiles/mgt_analysis.dir/spectrum.cpp.o.d"
+  "/root/repo/src/analysis/timing.cpp" "src/analysis/CMakeFiles/mgt_analysis.dir/timing.cpp.o" "gcc" "src/analysis/CMakeFiles/mgt_analysis.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/mgt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

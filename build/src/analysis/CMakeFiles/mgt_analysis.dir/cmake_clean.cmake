@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_analysis.dir/ber.cpp.o"
+  "CMakeFiles/mgt_analysis.dir/ber.cpp.o.d"
+  "CMakeFiles/mgt_analysis.dir/berextrap.cpp.o"
+  "CMakeFiles/mgt_analysis.dir/berextrap.cpp.o.d"
+  "CMakeFiles/mgt_analysis.dir/decompose.cpp.o"
+  "CMakeFiles/mgt_analysis.dir/decompose.cpp.o.d"
+  "CMakeFiles/mgt_analysis.dir/eye.cpp.o"
+  "CMakeFiles/mgt_analysis.dir/eye.cpp.o.d"
+  "CMakeFiles/mgt_analysis.dir/risefall.cpp.o"
+  "CMakeFiles/mgt_analysis.dir/risefall.cpp.o.d"
+  "CMakeFiles/mgt_analysis.dir/spectrum.cpp.o"
+  "CMakeFiles/mgt_analysis.dir/spectrum.cpp.o.d"
+  "CMakeFiles/mgt_analysis.dir/timing.cpp.o"
+  "CMakeFiles/mgt_analysis.dir/timing.cpp.o.d"
+  "libmgt_analysis.a"
+  "libmgt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

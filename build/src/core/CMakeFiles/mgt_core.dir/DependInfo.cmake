@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/presets.cpp" "src/core/CMakeFiles/mgt_core.dir/presets.cpp.o" "gcc" "src/core/CMakeFiles/mgt_core.dir/presets.cpp.o.d"
+  "/root/repo/src/core/test_system.cpp" "src/core/CMakeFiles/mgt_core.dir/test_system.cpp.o" "gcc" "src/core/CMakeFiles/mgt_core.dir/test_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pecl/CMakeFiles/mgt_pecl.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/mgt_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mgt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/mgt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_core.dir/presets.cpp.o"
+  "CMakeFiles/mgt_core.dir/presets.cpp.o.d"
+  "CMakeFiles/mgt_core.dir/test_system.cpp.o"
+  "CMakeFiles/mgt_core.dir/test_system.cpp.o.d"
+  "libmgt_core.a"
+  "libmgt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digital/bitstream.cpp" "src/digital/CMakeFiles/mgt_digital.dir/bitstream.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/bitstream.cpp.o.d"
+  "/root/repo/src/digital/dlc.cpp" "src/digital/CMakeFiles/mgt_digital.dir/dlc.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/dlc.cpp.o.d"
+  "/root/repo/src/digital/flash.cpp" "src/digital/CMakeFiles/mgt_digital.dir/flash.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/flash.cpp.o.d"
+  "/root/repo/src/digital/jtag.cpp" "src/digital/CMakeFiles/mgt_digital.dir/jtag.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/jtag.cpp.o.d"
+  "/root/repo/src/digital/lfsr.cpp" "src/digital/CMakeFiles/mgt_digital.dir/lfsr.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/lfsr.cpp.o.d"
+  "/root/repo/src/digital/pattern.cpp" "src/digital/CMakeFiles/mgt_digital.dir/pattern.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/pattern.cpp.o.d"
+  "/root/repo/src/digital/registers.cpp" "src/digital/CMakeFiles/mgt_digital.dir/registers.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/registers.cpp.o.d"
+  "/root/repo/src/digital/sequencer.cpp" "src/digital/CMakeFiles/mgt_digital.dir/sequencer.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/sequencer.cpp.o.d"
+  "/root/repo/src/digital/sram.cpp" "src/digital/CMakeFiles/mgt_digital.dir/sram.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/sram.cpp.o.d"
+  "/root/repo/src/digital/usb.cpp" "src/digital/CMakeFiles/mgt_digital.dir/usb.cpp.o" "gcc" "src/digital/CMakeFiles/mgt_digital.dir/usb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

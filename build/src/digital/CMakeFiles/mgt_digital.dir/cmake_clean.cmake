@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_digital.dir/bitstream.cpp.o"
+  "CMakeFiles/mgt_digital.dir/bitstream.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/dlc.cpp.o"
+  "CMakeFiles/mgt_digital.dir/dlc.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/flash.cpp.o"
+  "CMakeFiles/mgt_digital.dir/flash.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/jtag.cpp.o"
+  "CMakeFiles/mgt_digital.dir/jtag.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/lfsr.cpp.o"
+  "CMakeFiles/mgt_digital.dir/lfsr.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/pattern.cpp.o"
+  "CMakeFiles/mgt_digital.dir/pattern.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/registers.cpp.o"
+  "CMakeFiles/mgt_digital.dir/registers.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/sequencer.cpp.o"
+  "CMakeFiles/mgt_digital.dir/sequencer.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/sram.cpp.o"
+  "CMakeFiles/mgt_digital.dir/sram.cpp.o.d"
+  "CMakeFiles/mgt_digital.dir/usb.cpp.o"
+  "CMakeFiles/mgt_digital.dir/usb.cpp.o.d"
+  "libmgt_digital.a"
+  "libmgt_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_minitester.dir/array.cpp.o"
+  "CMakeFiles/mgt_minitester.dir/array.cpp.o.d"
+  "CMakeFiles/mgt_minitester.dir/dut.cpp.o"
+  "CMakeFiles/mgt_minitester.dir/dut.cpp.o.d"
+  "CMakeFiles/mgt_minitester.dir/minitester.cpp.o"
+  "CMakeFiles/mgt_minitester.dir/minitester.cpp.o.d"
+  "CMakeFiles/mgt_minitester.dir/shmoo.cpp.o"
+  "CMakeFiles/mgt_minitester.dir/shmoo.cpp.o.d"
+  "CMakeFiles/mgt_minitester.dir/wafermap.cpp.o"
+  "CMakeFiles/mgt_minitester.dir/wafermap.cpp.o.d"
+  "libmgt_minitester.a"
+  "libmgt_minitester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_minitester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

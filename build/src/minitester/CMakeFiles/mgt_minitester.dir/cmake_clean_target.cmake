@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmgt_minitester.a"
+)

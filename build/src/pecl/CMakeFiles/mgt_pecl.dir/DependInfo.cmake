@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pecl/buffer.cpp" "src/pecl/CMakeFiles/mgt_pecl.dir/buffer.cpp.o" "gcc" "src/pecl/CMakeFiles/mgt_pecl.dir/buffer.cpp.o.d"
+  "/root/repo/src/pecl/clocksource.cpp" "src/pecl/CMakeFiles/mgt_pecl.dir/clocksource.cpp.o" "gcc" "src/pecl/CMakeFiles/mgt_pecl.dir/clocksource.cpp.o.d"
+  "/root/repo/src/pecl/clocktree.cpp" "src/pecl/CMakeFiles/mgt_pecl.dir/clocktree.cpp.o" "gcc" "src/pecl/CMakeFiles/mgt_pecl.dir/clocktree.cpp.o.d"
+  "/root/repo/src/pecl/delayline.cpp" "src/pecl/CMakeFiles/mgt_pecl.dir/delayline.cpp.o" "gcc" "src/pecl/CMakeFiles/mgt_pecl.dir/delayline.cpp.o.d"
+  "/root/repo/src/pecl/fanout.cpp" "src/pecl/CMakeFiles/mgt_pecl.dir/fanout.cpp.o" "gcc" "src/pecl/CMakeFiles/mgt_pecl.dir/fanout.cpp.o.d"
+  "/root/repo/src/pecl/mux.cpp" "src/pecl/CMakeFiles/mgt_pecl.dir/mux.cpp.o" "gcc" "src/pecl/CMakeFiles/mgt_pecl.dir/mux.cpp.o.d"
+  "/root/repo/src/pecl/sampler.cpp" "src/pecl/CMakeFiles/mgt_pecl.dir/sampler.cpp.o" "gcc" "src/pecl/CMakeFiles/mgt_pecl.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/mgt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

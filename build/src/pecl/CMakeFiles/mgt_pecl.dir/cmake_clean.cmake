@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_pecl.dir/buffer.cpp.o"
+  "CMakeFiles/mgt_pecl.dir/buffer.cpp.o.d"
+  "CMakeFiles/mgt_pecl.dir/clocksource.cpp.o"
+  "CMakeFiles/mgt_pecl.dir/clocksource.cpp.o.d"
+  "CMakeFiles/mgt_pecl.dir/clocktree.cpp.o"
+  "CMakeFiles/mgt_pecl.dir/clocktree.cpp.o.d"
+  "CMakeFiles/mgt_pecl.dir/delayline.cpp.o"
+  "CMakeFiles/mgt_pecl.dir/delayline.cpp.o.d"
+  "CMakeFiles/mgt_pecl.dir/fanout.cpp.o"
+  "CMakeFiles/mgt_pecl.dir/fanout.cpp.o.d"
+  "CMakeFiles/mgt_pecl.dir/mux.cpp.o"
+  "CMakeFiles/mgt_pecl.dir/mux.cpp.o.d"
+  "CMakeFiles/mgt_pecl.dir/sampler.cpp.o"
+  "CMakeFiles/mgt_pecl.dir/sampler.cpp.o.d"
+  "libmgt_pecl.a"
+  "libmgt_pecl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_pecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

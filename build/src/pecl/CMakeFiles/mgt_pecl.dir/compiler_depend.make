@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mgt_pecl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/channel.cpp" "src/signal/CMakeFiles/mgt_signal.dir/channel.cpp.o" "gcc" "src/signal/CMakeFiles/mgt_signal.dir/channel.cpp.o.d"
+  "/root/repo/src/signal/edge.cpp" "src/signal/CMakeFiles/mgt_signal.dir/edge.cpp.o" "gcc" "src/signal/CMakeFiles/mgt_signal.dir/edge.cpp.o.d"
+  "/root/repo/src/signal/filter.cpp" "src/signal/CMakeFiles/mgt_signal.dir/filter.cpp.o" "gcc" "src/signal/CMakeFiles/mgt_signal.dir/filter.cpp.o.d"
+  "/root/repo/src/signal/jitter.cpp" "src/signal/CMakeFiles/mgt_signal.dir/jitter.cpp.o" "gcc" "src/signal/CMakeFiles/mgt_signal.dir/jitter.cpp.o.d"
+  "/root/repo/src/signal/render.cpp" "src/signal/CMakeFiles/mgt_signal.dir/render.cpp.o" "gcc" "src/signal/CMakeFiles/mgt_signal.dir/render.cpp.o.d"
+  "/root/repo/src/signal/sinks.cpp" "src/signal/CMakeFiles/mgt_signal.dir/sinks.cpp.o" "gcc" "src/signal/CMakeFiles/mgt_signal.dir/sinks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

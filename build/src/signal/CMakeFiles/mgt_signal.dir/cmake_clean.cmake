@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_signal.dir/channel.cpp.o"
+  "CMakeFiles/mgt_signal.dir/channel.cpp.o.d"
+  "CMakeFiles/mgt_signal.dir/edge.cpp.o"
+  "CMakeFiles/mgt_signal.dir/edge.cpp.o.d"
+  "CMakeFiles/mgt_signal.dir/filter.cpp.o"
+  "CMakeFiles/mgt_signal.dir/filter.cpp.o.d"
+  "CMakeFiles/mgt_signal.dir/jitter.cpp.o"
+  "CMakeFiles/mgt_signal.dir/jitter.cpp.o.d"
+  "CMakeFiles/mgt_signal.dir/render.cpp.o"
+  "CMakeFiles/mgt_signal.dir/render.cpp.o.d"
+  "CMakeFiles/mgt_signal.dir/sinks.cpp.o"
+  "CMakeFiles/mgt_signal.dir/sinks.cpp.o.d"
+  "libmgt_signal.a"
+  "libmgt_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

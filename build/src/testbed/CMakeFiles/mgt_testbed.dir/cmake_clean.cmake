@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_testbed.dir/analog_receiver.cpp.o"
+  "CMakeFiles/mgt_testbed.dir/analog_receiver.cpp.o.d"
+  "CMakeFiles/mgt_testbed.dir/calibration.cpp.o"
+  "CMakeFiles/mgt_testbed.dir/calibration.cpp.o.d"
+  "CMakeFiles/mgt_testbed.dir/framing.cpp.o"
+  "CMakeFiles/mgt_testbed.dir/framing.cpp.o.d"
+  "CMakeFiles/mgt_testbed.dir/receiver.cpp.o"
+  "CMakeFiles/mgt_testbed.dir/receiver.cpp.o.d"
+  "CMakeFiles/mgt_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/mgt_testbed.dir/testbed.cpp.o.d"
+  "CMakeFiles/mgt_testbed.dir/transmitter.cpp.o"
+  "CMakeFiles/mgt_testbed.dir/transmitter.cpp.o.d"
+  "libmgt_testbed.a"
+  "libmgt_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

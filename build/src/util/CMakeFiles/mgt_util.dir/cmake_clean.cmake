@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_util.dir/bitvec.cpp.o"
+  "CMakeFiles/mgt_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/mgt_util.dir/rng.cpp.o"
+  "CMakeFiles/mgt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mgt_util.dir/stats.cpp.o"
+  "CMakeFiles/mgt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mgt_util.dir/table.cpp.o"
+  "CMakeFiles/mgt_util.dir/table.cpp.o.d"
+  "libmgt_util.a"
+  "libmgt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

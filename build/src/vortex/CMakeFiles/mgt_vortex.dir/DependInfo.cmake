@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vortex/fabric.cpp" "src/vortex/CMakeFiles/mgt_vortex.dir/fabric.cpp.o" "gcc" "src/vortex/CMakeFiles/mgt_vortex.dir/fabric.cpp.o.d"
+  "/root/repo/src/vortex/node.cpp" "src/vortex/CMakeFiles/mgt_vortex.dir/node.cpp.o" "gcc" "src/vortex/CMakeFiles/mgt_vortex.dir/node.cpp.o.d"
+  "/root/repo/src/vortex/optics.cpp" "src/vortex/CMakeFiles/mgt_vortex.dir/optics.cpp.o" "gcc" "src/vortex/CMakeFiles/mgt_vortex.dir/optics.cpp.o.d"
+  "/root/repo/src/vortex/packet.cpp" "src/vortex/CMakeFiles/mgt_vortex.dir/packet.cpp.o" "gcc" "src/vortex/CMakeFiles/mgt_vortex.dir/packet.cpp.o.d"
+  "/root/repo/src/vortex/traffic.cpp" "src/vortex/CMakeFiles/mgt_vortex.dir/traffic.cpp.o" "gcc" "src/vortex/CMakeFiles/mgt_vortex.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/mgt_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mgt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

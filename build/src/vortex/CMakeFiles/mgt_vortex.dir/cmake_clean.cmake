@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgt_vortex.dir/fabric.cpp.o"
+  "CMakeFiles/mgt_vortex.dir/fabric.cpp.o.d"
+  "CMakeFiles/mgt_vortex.dir/node.cpp.o"
+  "CMakeFiles/mgt_vortex.dir/node.cpp.o.d"
+  "CMakeFiles/mgt_vortex.dir/optics.cpp.o"
+  "CMakeFiles/mgt_vortex.dir/optics.cpp.o.d"
+  "CMakeFiles/mgt_vortex.dir/packet.cpp.o"
+  "CMakeFiles/mgt_vortex.dir/packet.cpp.o.d"
+  "CMakeFiles/mgt_vortex.dir/traffic.cpp.o"
+  "CMakeFiles/mgt_vortex.dir/traffic.cpp.o.d"
+  "libmgt_vortex.a"
+  "libmgt_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgt_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minitester.dir/test_minitester.cpp.o"
+  "CMakeFiles/test_minitester.dir/test_minitester.cpp.o.d"
+  "test_minitester"
+  "test_minitester.pdb"
+  "test_minitester[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minitester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

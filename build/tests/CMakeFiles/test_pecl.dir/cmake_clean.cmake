@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pecl.dir/test_pecl.cpp.o"
+  "CMakeFiles/test_pecl.dir/test_pecl.cpp.o.d"
+  "test_pecl"
+  "test_pecl.pdb"
+  "test_pecl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pecl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_signal[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_digital[1]_include.cmake")
+include("/root/repo/build/tests/test_pecl[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_vortex[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_minitester[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions2[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions3[1]_include.cmake")
+include("/root/repo/build/tests/test_edgecases[1]_include.cmake")
