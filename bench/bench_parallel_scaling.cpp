@@ -1,0 +1,127 @@
+// Parallel scaling of the deterministic execution layer (util/parallel).
+//
+// Times the two heaviest pipelines — eye accumulation over a multi-chunk
+// acquisition and a 16-site probe-array wafer pass — at 1, 2, 4 and 8
+// worker threads, reporting wall time and speedup versus 1 thread. The
+// determinism contract means every row computes byte-identical results;
+// only the wall clock may change. Speedup is bounded by the host's core
+// count (a single-core host shows ~1.0x everywhere, honestly).
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/presets.hpp"
+#include "core/test_system.hpp"
+#include "minitester/array.hpp"
+#include "util/parallel.hpp"
+
+using namespace mgt;
+
+namespace {
+
+constexpr std::size_t kThreadSteps[] = {1, 2, 4, 8};
+
+double time_s(const std::function<void()>& work) {
+  const auto begin = std::chrono::steady_clock::now();
+  work();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+double eye_pass(std::size_t threads) {
+  util::ScopedThreads scoped(threads);
+  core::TestSystem sys(core::presets::optical_testbed(), 42);
+  sys.program_prbs(7, 0xACE1);
+  sys.start();
+  return time_s([&] {
+    const auto eye = sys.acquire_eye(4000);  // 3.2 M samples, multi-chunk
+    benchmark::DoNotOptimize(&eye);
+  });
+}
+
+double probe_pass(std::size_t threads) {
+  util::ScopedThreads scoped(threads);
+  minitester::TesterArray::Config config;
+  config.testers = 16;
+  config.defect_rate = 0.08;
+  config.bist_bits = 256;
+  minitester::TesterArray array(config, 7);
+  return time_s([&] {
+    const auto wafer = array.probe_wafer(64);
+    benchmark::DoNotOptimize(&wafer);
+  });
+}
+
+void scaling_rows(ReportTable& table, const char* what,
+                  double (*pass)(std::size_t)) {
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const double t1 = pass(1);
+  for (std::size_t threads : kThreadSteps) {
+    const double t = threads == 1 ? t1 : pass(threads);
+    const double speedup = t == 0.0 ? 0.0 : t1 / t;
+    std::string expect = "-";
+    std::string verdict = "-";
+    if (threads == 4) {
+      expect = ">= 2x (needs >= 4 cores)";
+      verdict = cores >= 4 ? (speedup >= 2.0 ? "OK (scales)" : "DEVIATES")
+                           : "- (" + std::to_string(cores) + "-core host)";
+    }
+    table.add_comparison(
+        std::string(what) + ", " + std::to_string(threads) + " thread" +
+            (threads == 1 ? "" : "s"),
+        expect, fmt(t, 3) + " s  (x" + fmt(speedup, 2) + ")", verdict);
+  }
+}
+
+void run_reproduction(ReportTable& table) {
+  scaling_rows(table, "eye accumulation (4k bits)", eye_pass);
+  scaling_rows(table, "16-site probe array (64 dies)", probe_pass);
+}
+
+void bm_eye_accumulation(benchmark::State& state) {
+  util::ScopedThreads scoped(static_cast<std::size_t>(state.range(0)));
+  core::TestSystem sys(core::presets::optical_testbed(), 42);
+  sys.program_prbs(7, 0xACE1);
+  sys.start();
+  for (auto _ : state) {
+    auto eye = sys.acquire_eye(2000);
+    benchmark::DoNotOptimize(eye);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(bm_eye_accumulation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_wafer_probe(benchmark::State& state) {
+  util::ScopedThreads scoped(static_cast<std::size_t>(state.range(0)));
+  minitester::TesterArray::Config config;
+  config.testers = 16;
+  config.bist_bits = 128;
+  minitester::TesterArray array(config, 7);
+  for (auto _ : state) {
+    auto wafer = array.probe_wafer(32);
+    benchmark::DoNotOptimize(wafer);
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(bm_wafer_probe)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Parallel scaling - deterministic thread pool (MGT_THREADS)");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mgt::ana {
 
@@ -112,6 +114,25 @@ void EyeDiagram::on_sample(Picoseconds t, Millivolts v) {
   }
 }
 
+void EyeDiagram::on_context(Picoseconds t, Millivolts v) {
+  crossings_.on_context(t, v);
+}
+
+void EyeDiagram::merge(const EyeDiagram& later) {
+  MGT_CHECK(config_.time_bins == later.config_.time_bins &&
+                config_.volt_bins == later.config_.volt_bins,
+            "cannot merge eyes with different grids");
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    grid_[i] += later.grid_[i];
+  }
+  total_ += later.total_;
+  crossings_.merge(later.crossings_);
+  center_min_high_ = std::min(center_min_high_, later.center_min_high_);
+  center_max_low_ = std::max(center_max_low_, later.center_max_low_);
+  center_high_.merge(later.center_high_);
+  center_low_.merge(later.center_low_);
+}
+
 std::size_t EyeDiagram::count_at(std::size_t time_bin,
                                  std::size_t volt_bin) const {
   MGT_CHECK(time_bin < config_.time_bins && volt_bin < config_.volt_bins);
@@ -174,6 +195,30 @@ std::string EyeDiagram::ascii_art(std::size_t cols, std::size_t rows) const {
     art.push_back('\n');
   }
   return art;
+}
+
+EyeDiagram accumulate_eye(const sig::EdgeStream& stream,
+                          const sig::FilterChain& chain,
+                          const sig::RenderConfig& render_config,
+                          Picoseconds t_begin, Picoseconds t_end,
+                          const EyeDiagram::Config& eye_config,
+                          const sig::RenderChunking& chunking) {
+  const std::size_t n_chunks =
+      sig::render_chunk_count(render_config, t_begin, t_end, chunking);
+  // One private accumulator per chunk; the decomposition depends only on
+  // the window, never on the worker count.
+  std::vector<std::unique_ptr<EyeDiagram>> parts(n_chunks);
+  util::parallel_for(n_chunks, [&](std::size_t c) {
+    auto part = std::make_unique<EyeDiagram>(eye_config);
+    sig::render_chunk(stream, chain, render_config, t_begin, t_end, chunking,
+                      c, {part.get()});
+    parts[c] = std::move(part);
+  });
+  EyeDiagram out = std::move(*parts.front());
+  for (std::size_t c = 1; c < n_chunks; ++c) {
+    out.merge(*parts[c]);
+  }
+  return out;
 }
 
 }  // namespace mgt::ana

@@ -69,6 +69,13 @@ public:
   explicit EyeDiagram(Config config);
 
   void on_sample(Picoseconds t, Millivolts v) override;
+  void on_context(Picoseconds t, Millivolts v) override;
+
+  /// Folds another eye accumulated over a later, disjoint part of the same
+  /// acquisition into this one (histograms add, crossings append). Merges
+  /// must run in chunk order so the crossing record stays time-ordered —
+  /// the fixed-order-reduction rule of the parallel layer.
+  void merge(const EyeDiagram& later);
 
   /// Density count at (time_bin, volt_bin).
   [[nodiscard]] std::size_t count_at(std::size_t time_bin,
@@ -109,5 +116,18 @@ private:
   RunningStats center_high_;
   RunningStats center_low_;
 };
+
+/// Accumulates an eye over [t_begin, t_end) of the rendered stream using
+/// the fixed chunk decomposition of sig::render_chunk, with the chunks
+/// executed by util::parallel_for and merged in chunk order. Byte-identical
+/// results at every thread count (including the MGT_THREADS=0 serial
+/// fallback) by construction; single-chunk windows are additionally
+/// byte-identical to a plain sig::render pass.
+EyeDiagram accumulate_eye(const sig::EdgeStream& stream,
+                          const sig::FilterChain& chain,
+                          const sig::RenderConfig& render_config,
+                          Picoseconds t_begin, Picoseconds t_end,
+                          const EyeDiagram::Config& eye_config,
+                          const sig::RenderChunking& chunking = {});
 
 }  // namespace mgt::ana

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include <memory>
+
 #include "digital/bitstream.hpp"
 #include "digital/jtag.hpp"
 #include "digital/pattern.hpp"
 #include "signal/render.hpp"
 #include "signal/sinks.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mgt::core {
 
@@ -18,6 +21,50 @@ constexpr std::uint8_t kUsbAddress = 5;
 /// Rails as seen at the measurement point after channel attenuation.
 sig::PeclLevels effective_levels(const sig::PeclLevels& levels, double gain) {
   return sig::attenuated(levels, gain);
+}
+
+/// Render window + grid settings of one scope-style acquisition.
+struct AcqWindow {
+  Picoseconds begin{0.0};
+  Picoseconds end{0.0};
+  sig::RenderConfig render;
+};
+
+AcqWindow acquisition_window(const core::Stimulus& stimulus,
+                             std::size_t n_bits, const EyeOptions& options) {
+  AcqWindow w;
+  w.begin = Picoseconds{stimulus.t0.ps() +
+                        static_cast<double>(options.warmup_bits) *
+                            stimulus.ui.ps()};
+  w.end = Picoseconds{stimulus.t0.ps() +
+                      static_cast<double>(n_bits) * stimulus.ui.ps()};
+  w.render = sig::RenderConfig{.levels = stimulus.levels,
+                               .sample_step = options.sample_step};
+  return w;
+}
+
+/// Chunked, parallel_for-driven accumulation of one mergeable sink over the
+/// stimulus window: the fixed decomposition of sig::render_chunk with
+/// per-chunk private sinks merged in chunk order (results identical at
+/// every thread count).
+template <typename Sink, typename MakeSink>
+Sink accumulate_sink(const core::Stimulus& stimulus, const AcqWindow& window,
+                     const MakeSink& make_sink) {
+  const sig::RenderChunking chunking{};
+  const std::size_t n_chunks = sig::render_chunk_count(
+      window.render, window.begin, window.end, chunking);
+  std::vector<std::unique_ptr<Sink>> parts(n_chunks);
+  util::parallel_for(n_chunks, [&](std::size_t c) {
+    auto part = std::make_unique<Sink>(make_sink());
+    sig::render_chunk(stimulus.edges, stimulus.chain, window.render,
+                      window.begin, window.end, chunking, c, {part.get()});
+    parts[c] = std::move(part);
+  });
+  Sink out = std::move(*parts.front());
+  for (std::size_t c = 1; c < n_chunks; ++c) {
+    out.merge(*parts[c]);
+  }
+  return out;
 }
 
 }  // namespace
@@ -132,15 +179,9 @@ Stimulus TestSystem::generate(std::size_t n_bits) {
 void TestSystem::render_stimulus(const Stimulus& stimulus, std::size_t n_bits,
                                  const EyeOptions& options,
                                  const std::vector<sig::WaveformSink*>& sinks) {
-  const Picoseconds t_begin{
-      stimulus.t0.ps() + static_cast<double>(options.warmup_bits) *
-                             stimulus.ui.ps()};
-  const Picoseconds t_end{
-      stimulus.t0.ps() + static_cast<double>(n_bits) * stimulus.ui.ps()};
-  sig::RenderConfig render_config{.levels = stimulus.levels,
-                                  .sample_step = options.sample_step};
-  sig::render(stimulus.edges, stimulus.chain, render_config, t_begin, t_end,
-              sinks);
+  const AcqWindow window = acquisition_window(stimulus, n_bits, options);
+  sig::render(stimulus.edges, stimulus.chain, window.render, window.begin,
+              window.end, sinks);
 }
 
 ana::EyeDiagram TestSystem::acquire_eye(std::size_t n_bits,
@@ -158,9 +199,9 @@ ana::EyeDiagram TestSystem::acquire_eye(std::size_t n_bits,
       .time_bins = options.time_bins,
       .volt_bins = options.volt_bins,
   };
-  ana::EyeDiagram eye(config);
-  render_stimulus(stimulus, n_bits, options, {&eye});
-  return eye;
+  const AcqWindow window = acquisition_window(stimulus, n_bits, options);
+  return ana::accumulate_eye(stimulus.edges, stimulus.chain, window.render,
+                             window.begin, window.end, config);
 }
 
 ana::EyeMetrics TestSystem::measure_eye(std::size_t n_bits,
@@ -200,8 +241,10 @@ ana::CrossoverJitter TestSystem::measure_single_edge_jitter(
 
   const sig::PeclLevels rails =
       effective_levels(stimulus.levels, stimulus.chain.gain());
-  sig::CrossingRecorder recorder(rails.midpoint());
-  render_stimulus(stimulus, n_bits, EyeOptions{}, {&recorder});
+  const AcqWindow window = acquisition_window(stimulus, n_bits, EyeOptions{});
+  const auto recorder = accumulate_sink<sig::CrossingRecorder>(
+      stimulus, window,
+      [&] { return sig::CrossingRecorder(rails.midpoint()); });
 
   const Picoseconds pattern_period{2.0 * static_cast<double>(lanes) *
                                    stimulus.ui.ps()};
@@ -214,8 +257,10 @@ TestSystem::Amplitude TestSystem::measure_amplitude(std::size_t n_bits,
   Stimulus stimulus = generate(n_bits);
   const sig::PeclLevels rails =
       effective_levels(stimulus.levels, stimulus.chain.gain());
-  sig::AmplitudeTracker tracker(rails.midpoint());
-  render_stimulus(stimulus, n_bits, options, {&tracker});
+  const AcqWindow window = acquisition_window(stimulus, n_bits, options);
+  const auto tracker = accumulate_sink<sig::AmplitudeTracker>(
+      stimulus, window,
+      [&] { return sig::AmplitudeTracker(rails.midpoint()); });
   Amplitude out;
   out.settled_high = tracker.settled_high();
   out.settled_low = tracker.settled_low();

@@ -1,11 +1,12 @@
 #include "minitester/array.hpp"
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mgt::minitester {
 
 TesterArray::TesterArray(Config config, std::uint64_t seed)
-    : config_(config), rng_(seed) {
+    : config_(config), seed_(seed) {
   MGT_CHECK(config_.testers >= 1);
   MGT_CHECK(config_.defect_rate >= 0.0 && config_.defect_rate <= 1.0);
 }
@@ -32,26 +33,38 @@ TesterArray::WaferResult TesterArray::probe_wafer(std::size_t n_dies) {
   static const Defect kDefects[] = {Defect::StuckLow, Defect::StuckHigh,
                                     Defect::SlowLead, Defect::WeakDrive};
 
-  for (std::size_t die = 0; die < n_dies; ++die) {
-    const bool defective = rng_.chance(config_.defect_rate);
+  // Every die site is an independent task with its own Rng stream derived
+  // from (seed, die): defect injection and the full signal-level BIST run
+  // never touch shared state, so the sites execute concurrently — exactly
+  // the array-of-testers parallelism of Fig 13 — with results identical at
+  // every thread count.
+  struct DieOutcome {
+    bool fail = false;
+    bool escape = false;
+    bool overkill = false;
+  };
+  std::vector<DieOutcome> outcomes(n_dies);
+  util::parallel_for(n_dies, [&](std::size_t die) {
+    Rng rng = util::task_rng(seed_, die);
+    const bool defective = rng.chance(config_.defect_rate);
     MiniTester::Config site = config_.site;
     site.dut.defect =
-        defective ? kDefects[rng_.below(std::size(kDefects))] : Defect::None;
+        defective ? kDefects[rng.below(std::size(kDefects))] : Defect::None;
 
-    MiniTester tester(site, rng_.next());
+    MiniTester tester(site, rng.next());
     tester.program_prbs(7, 0xACE1F00Dull + die);
     tester.start();
     const bool pass = tester.run_bist(config_.bist_bits).pass();
 
-    if (!pass) {
-      ++out.fails;
-    }
-    if (defective && pass) {
-      ++out.escapes;
-    }
-    if (!defective && !pass) {
-      ++out.overkills;
-    }
+    outcomes[die] = DieOutcome{.fail = !pass,
+                               .escape = defective && pass,
+                               .overkill = !defective && !pass};
+  });
+  // Fixed-order reduction (die order) into the wafer totals.
+  for (const DieOutcome& o : outcomes) {
+    out.fails += o.fail ? 1 : 0;
+    out.escapes += o.escape ? 1 : 0;
+    out.overkills += o.overkill ? 1 : 0;
   }
   return out;
 }

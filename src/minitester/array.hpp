@@ -46,7 +46,10 @@ public:
   };
 
   /// Probes `n_dies`, injecting defects at the configured rate, running
-  /// the BIST flow on every die through the signal-level simulation.
+  /// the BIST flow on every die through the signal-level simulation. Dies
+  /// are independent tasks (per-die Rng streams derived from the array
+  /// seed) executed via util::parallel_for; results are identical at every
+  /// MGT_THREADS setting.
   WaferResult probe_wafer(std::size_t n_dies);
 
   /// Pure throughput model (no signal simulation): wall time to probe
@@ -59,7 +62,7 @@ public:
 
 private:
   Config config_;
-  Rng rng_;
+  std::uint64_t seed_;
 };
 
 }  // namespace mgt::minitester

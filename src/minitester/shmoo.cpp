@@ -1,6 +1,7 @@
 #include "minitester/shmoo.hpp"
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mgt::minitester {
 
@@ -46,15 +47,17 @@ Shmoo run_shmoo(std::string x_label, std::vector<double> xs,
   out.y_label = std::move(y_label);
   out.xs = std::move(xs);
   out.ys = std::move(ys);
-  out.ber.reserve(out.ys.size());
-  for (double y : out.ys) {
-    std::vector<double> row;
-    row.reserve(out.xs.size());
-    for (double x : out.xs) {
-      row.push_back(measure(x, y));
-    }
-    out.ber.push_back(std::move(row));
-  }
+  // Every grid point is an independent task writing its own cell, so the
+  // sweep parallelizes with results identical at every thread count
+  // (measure() must be a pure function of (x, y) — see the header).
+  const std::size_t nx = out.xs.size();
+  const std::size_t ny = out.ys.size();
+  out.ber.assign(ny, std::vector<double>(nx, 0.0));
+  util::parallel_for(nx * ny, [&](std::size_t i) {
+    const std::size_t yi = i / nx;
+    const std::size_t xi = i % nx;
+    out.ber[yi][xi] = measure(out.xs[xi], out.ys[yi]);
+  });
   return out;
 }
 

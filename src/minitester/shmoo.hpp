@@ -27,6 +27,10 @@ struct Shmoo {
 };
 
 /// Runs a generic shmoo: `measure(x, y)` returns the BER at that point.
+/// Grid points are independent tasks executed via util::parallel_for, so
+/// `measure` must be a pure, thread-safe function of (x, y): build a fresh
+/// tester (seeded from x/y or a constant) inside the lambda rather than
+/// capturing one by reference.
 Shmoo run_shmoo(std::string x_label, std::vector<double> xs,
                 std::string y_label, std::vector<double> ys,
                 const std::function<double(double x, double y)>& measure);

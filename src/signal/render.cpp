@@ -6,38 +6,41 @@
 
 namespace mgt::sig {
 
-void render(const EdgeStream& stream, FilterChain chain,
-            const RenderConfig& config, Picoseconds t_begin,
-            Picoseconds t_end, const std::vector<WaveformSink*>& sinks) {
-  MGT_CHECK(t_end > t_begin, "render window must be non-empty");
-  MGT_CHECK(config.sample_step.ps() > 0.0);
+namespace {
+
+/// Core sample loop shared by render() and render_chunk(): steps `chain`
+/// through grid samples [k_start, k_end) of the grid anchored at t_begin,
+/// delivering samples with index >= k_emit to sinks (the one just before
+/// k_emit goes out as context). The chain must already be reset to the
+/// steady state of the stream level at sample k_start.
+void run_window(const EdgeStream& stream, FilterChain& chain,
+                const RenderConfig& config, Picoseconds t_begin,
+                std::size_t k_start, std::size_t k_emit, std::size_t k_end,
+                const std::vector<WaveformSink*>& sinks) {
   const double dt = config.sample_step.ps();
 
   auto level_to_mv = [&](bool level) {
     return level ? config.levels.voh : config.levels.vol;
   };
 
-  // Position in the transition list: first transition at or after t_begin.
+  const double t_start =
+      t_begin.ps() + static_cast<double>(k_start) * dt;
+
+  // Position in the transition list: first transition at or after t_start.
   const auto& trs = stream.transitions();
   std::size_t next_tr = static_cast<std::size_t>(
-      std::lower_bound(trs.begin(), trs.end(), t_begin,
+      std::lower_bound(trs.begin(), trs.end(), Picoseconds{t_start},
                        [](const Transition& tr, Picoseconds t) {
                          return tr.time < t;
                        }) -
       trs.begin());
 
-  bool level = stream.level_at(t_begin);
+  bool level = stream.level_at(Picoseconds{t_start});
   chain.reset(level_to_mv(level));
 
-  double now = t_begin.ps();
-  const long long n_samples =
-      static_cast<long long>((t_end.ps() - t_begin.ps()) / dt);
-
-  for (long long k = 0; k <= n_samples; ++k) {
+  double now = t_start;
+  for (std::size_t k = k_start; k < k_end; ++k) {
     const double t_sample = t_begin.ps() + static_cast<double>(k) * dt;
-    if (t_sample >= t_end.ps()) {
-      break;
-    }
     // Advance exactly through any transitions before this sample.
     while (next_tr < trs.size() && trs[next_tr].time.ps() <= t_sample) {
       const double t_tr = trs[next_tr].time.ps();
@@ -53,13 +56,69 @@ void render(const EdgeStream& stream, FilterChain chain,
       now = t_sample;
     }
     const Millivolts v = chain.output();
-    for (WaveformSink* sink : sinks) {
-      sink->on_sample(Picoseconds{t_sample}, v);
+    if (k >= k_emit) {
+      for (WaveformSink* sink : sinks) {
+        sink->on_sample(Picoseconds{t_sample}, v);
+      }
+    } else if (k + 1 == k_emit) {
+      for (WaveformSink* sink : sinks) {
+        sink->on_context(Picoseconds{t_sample}, v);
+      }
     }
   }
+}
+
+}  // namespace
+
+std::size_t render_sample_count(const RenderConfig& config,
+                                Picoseconds t_begin, Picoseconds t_end) {
+  MGT_CHECK(t_end > t_begin, "render window must be non-empty");
+  MGT_CHECK(config.sample_step.ps() > 0.0);
+  const double dt = config.sample_step.ps();
+  const auto n = static_cast<std::size_t>(
+      static_cast<long long>((t_end.ps() - t_begin.ps()) / dt));
+  // Sample times are monotone in the index, so only the last candidate can
+  // land at or past t_end.
+  if (t_begin.ps() + static_cast<double>(n) * dt < t_end.ps()) {
+    return n + 1;
+  }
+  return n;
+}
+
+void render(const EdgeStream& stream, FilterChain chain,
+            const RenderConfig& config, Picoseconds t_begin,
+            Picoseconds t_end, const std::vector<WaveformSink*>& sinks) {
+  const std::size_t total = render_sample_count(config, t_begin, t_end);
+  run_window(stream, chain, config, t_begin, 0, 0, total, sinks);
   for (WaveformSink* sink : sinks) {
     sink->finish();
   }
+}
+
+std::size_t render_chunk_count(const RenderConfig& config, Picoseconds t_begin,
+                               Picoseconds t_end,
+                               const RenderChunking& chunking) {
+  MGT_CHECK(chunking.chunk_samples > 0);
+  const std::size_t total = render_sample_count(config, t_begin, t_end);
+  return total == 0 ? 1
+                    : (total + chunking.chunk_samples - 1) /
+                          chunking.chunk_samples;
+}
+
+void render_chunk(const EdgeStream& stream, FilterChain chain,
+                  const RenderConfig& config, Picoseconds t_begin,
+                  Picoseconds t_end, const RenderChunking& chunking,
+                  std::size_t chunk_index,
+                  const std::vector<WaveformSink*>& sinks) {
+  const std::size_t total = render_sample_count(config, t_begin, t_end);
+  MGT_CHECK(chunk_index <
+                render_chunk_count(config, t_begin, t_end, chunking),
+            "chunk index out of range");
+  const std::size_t k0 = chunk_index * chunking.chunk_samples;
+  const std::size_t k1 = std::min(k0 + chunking.chunk_samples, total);
+  const std::size_t settle =
+      chunk_index == 0 ? 0 : std::min(chunking.settle_samples, k0);
+  run_window(stream, chain, config, t_begin, k0 - settle, k0, k1, sinks);
 }
 
 }  // namespace mgt::sig

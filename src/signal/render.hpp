@@ -29,6 +29,11 @@ public:
   virtual void on_sample(Picoseconds t, Millivolts v) = 0;
   /// Called once after the last sample.
   virtual void finish() {}
+  /// Called with the grid sample immediately preceding this sink's window
+  /// when rendering a chunk of a larger acquisition: sinks that look at
+  /// adjacent-sample pairs (crossing interpolation, slope gates) use it to
+  /// prime their previous-sample state without counting the sample itself.
+  virtual void on_context(Picoseconds, Millivolts) {}
 };
 
 /// Renderer configuration.
@@ -43,5 +48,52 @@ struct RenderConfig {
 void render(const EdgeStream& stream, FilterChain chain,
             const RenderConfig& config, Picoseconds t_begin,
             Picoseconds t_end, const std::vector<WaveformSink*>& sinks);
+
+// ------------------------------------------------- chunked rendering ----
+//
+// A long acquisition can be split into fixed-size chunks of the sample
+// grid and rendered chunk-by-chunk into private sinks that are merged in
+// chunk order afterwards. The decomposition depends only on the window and
+// these parameters — never on how many threads execute the chunks — so a
+// serial and a parallel run produce byte-identical results (the rule
+// tests/test_parallel.cpp enforces).
+//
+// Chunk 0 starts exactly like render(): chain reset to steady state at
+// t_begin. Later chunks re-settle the chain over `settle_samples` grid
+// samples before their window; the single-pole chain state contracts
+// exponentially, so with the default settle depth (32768 samples = 16.4 ns
+// at the 0.5 ps step, hundreds of time constants) the entry state matches
+// the single-pass trajectory to the last bit. The sample just before each
+// chunk window is handed to sinks via on_context() so pairwise sinks
+// (crossing interpolation) see every adjacent-sample pair exactly once
+// across chunk boundaries.
+
+struct RenderChunking {
+  /// Grid samples per chunk (task granularity). Must not depend on the
+  /// worker count.
+  std::size_t chunk_samples = 1u << 20;
+  /// Chain re-settle depth before each chunk after the first.
+  std::size_t settle_samples = 32768;
+};
+
+/// Number of grid samples render() would emit over [t_begin, t_end).
+std::size_t render_sample_count(const RenderConfig& config,
+                                Picoseconds t_begin, Picoseconds t_end);
+
+/// Number of chunks the decomposition yields (>= 1 for non-empty windows).
+std::size_t render_chunk_count(const RenderConfig& config, Picoseconds t_begin,
+                               Picoseconds t_end,
+                               const RenderChunking& chunking);
+
+/// Renders chunk `chunk_index` of the decomposition into `sinks`: exactly
+/// the samples with global grid index in [chunk*chunk_samples,
+/// (chunk+1)*chunk_samples), preceded by one on_context() sample for chunks
+/// past the first. finish() is NOT called — the caller merges the chunk
+/// sinks in chunk order and finishes the merged result.
+void render_chunk(const EdgeStream& stream, FilterChain chain,
+                  const RenderConfig& config, Picoseconds t_begin,
+                  Picoseconds t_end, const RenderChunking& chunking,
+                  std::size_t chunk_index,
+                  const std::vector<WaveformSink*>& sinks);
 
 }  // namespace mgt::sig

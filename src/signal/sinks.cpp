@@ -23,6 +23,18 @@ void CrossingRecorder::on_sample(Picoseconds t, Millivolts v) {
   have_prev_ = true;
 }
 
+void CrossingRecorder::on_context(Picoseconds t, Millivolts v) {
+  // Prime only: the straddling pair is detected by the first on_sample.
+  prev_t_ = t.ps();
+  prev_v_ = v.mv();
+  have_prev_ = true;
+}
+
+void CrossingRecorder::merge(const CrossingRecorder& later) {
+  crossings_.insert(crossings_.end(), later.crossings_.begin(),
+                    later.crossings_.end());
+}
+
 void WaveformTrace::on_sample(Picoseconds t, Millivolts v) {
   if (counter_++ % decimation_ == 0) {
     t_.push_back(t.ps());
@@ -116,6 +128,21 @@ void AmplitudeTracker::on_sample(Picoseconds t, Millivolts v) {
   prev_t_ = t.ps();
   prev_v_ = v.mv();
   have_prev_ = true;
+}
+
+void AmplitudeTracker::on_context(Picoseconds t, Millivolts v) {
+  // Prime the slope gate without counting the sample (it belongs to the
+  // previous chunk's window).
+  prev_t_ = t.ps();
+  prev_v_ = v.mv();
+  have_prev_ = true;
+}
+
+void AmplitudeTracker::merge(const AmplitudeTracker& other) {
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+  high_.merge(other.high_);
+  low_.merge(other.low_);
 }
 
 Millivolts AmplitudeTracker::settled_high() const {

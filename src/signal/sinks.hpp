@@ -29,10 +29,15 @@ public:
   explicit CrossingRecorder(Millivolts threshold) : threshold_(threshold) {}
 
   void on_sample(Picoseconds t, Millivolts v) override;
+  void on_context(Picoseconds t, Millivolts v) override;
 
   [[nodiscard]] const std::vector<Crossing>& crossings() const {
     return crossings_;
   }
+
+  /// Appends `later`'s crossings (a chunk rendered after this one) so
+  /// chunked acquisitions merge into one time-ordered record.
+  void merge(const CrossingRecorder& later);
 
 private:
   Millivolts threshold_;
@@ -118,6 +123,10 @@ public:
                             double slope_limit_mv_per_ps = 0.5);
 
   void on_sample(Picoseconds t, Millivolts v) override;
+  void on_context(Picoseconds t, Millivolts v) override;
+
+  /// Folds in another tracker over a disjoint window (chunked renders).
+  void merge(const AmplitudeTracker& other);
 
   [[nodiscard]] Millivolts v_max() const { return Millivolts{max_}; }
   [[nodiscard]] Millivolts v_min() const { return Millivolts{min_}; }

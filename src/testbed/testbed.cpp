@@ -1,6 +1,7 @@
 #include "testbed/testbed.hpp"
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mgt::testbed {
 
@@ -27,17 +28,16 @@ OpticalTestbed::SingleResult OpticalTestbed::send_one(
     const TestbedPacket& packet) {
   auto signals = tx_.transmit(packet, Picoseconds{0.0});
 
-  // E/O -> fiber -> O/E, per channel.
-  auto through_optics = [&](const sig::EdgeStream& electrical,
-                            std::size_t ch) {
+  // E/O -> fiber -> O/E, per channel. Each WDM lane has its own laser and
+  // detector (with their own Rng streams) and the fiber model is read-only,
+  // so the five conversions run concurrently.
+  util::parallel_for(kHighSpeedChannels, [&](std::size_t ch) {
+    sig::EdgeStream& electrical =
+        ch < kDataChannels ? signals.data[ch] : signals.clock;
     const auto launched = lasers_[ch].modulate(electrical);
     const auto received = path_.propagate(launched);
-    return detectors_[ch].detect(received);
-  };
-  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
-    signals.data[ch] = through_optics(signals.data[ch], ch);
-  }
-  signals.clock = through_optics(signals.clock, kClockChannel);
+    electrical = detectors_[ch].detect(received);
+  });
   // Frame/header ride the electrical sideband (lower speed, no optics in
   // the present test bed).
   const Picoseconds optical_delay =

@@ -2,6 +2,7 @@
 
 #include "digital/bitstream.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace mgt::testbed {
 
@@ -93,23 +94,31 @@ OpticalTransmitter::Output OpticalTransmitter::transmit(
   usb_host_.write_register(dig::reg::kCtrl, dig::reg::kCtrlModePattern |
                                                 dig::reg::kCtrlStart);
 
-  auto serialize_channel = [&](std::size_t ch,
-                               const BitVector& bits) -> sig::EdgeStream {
-    // The DLC plays the uploaded bank; the serializer/buffer/delay chain
-    // shapes its timing.
+  // Digital phase (serial: shared DLC/USB state): select each bank in
+  // channel order and read back the serial sequence it will play.
+  std::array<BitVector, kHighSpeedChannels> serial;
+  for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
     usb_host_.write_register(dig::reg::kChannelSel,
                              static_cast<std::uint32_t>(ch));
-    const BitVector serial = dlc_.expected_serial(bits.size());
-    auto& hw = channels_[ch];
-    sig::EdgeStream edges = hw.serializer.serialize(serial, rate, t_start);
-    edges = hw.buffer.apply(edges);
-    return hw.delay.apply(edges);
-  };
-
-  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
-    out.data[ch] = serialize_channel(ch, out.bits.data[ch]);
+    const BitVector& bits =
+        ch < kDataChannels ? out.bits.data[ch] : out.bits.clock;
+    serial[ch] = dlc_.expected_serial(bits.size());
   }
-  out.clock = serialize_channel(kClockChannel, out.bits.clock);
+
+  // Analog phase: each channel's serializer/buffer/delay chain owns its own
+  // Rng stream and touches only its own hardware, so the five channels
+  // render concurrently with results independent of the thread count.
+  util::parallel_for(kHighSpeedChannels, [&](std::size_t ch) {
+    auto& hw = channels_[ch];
+    sig::EdgeStream edges = hw.serializer.serialize(serial[ch], rate, t_start);
+    edges = hw.buffer.apply(edges);
+    edges = hw.delay.apply(edges);
+    if (ch < kDataChannels) {
+      out.data[ch] = std::move(edges);
+    } else {
+      out.clock = std::move(edges);
+    }
+  });
 
   // Frame + header come straight off FPGA I/O: slower edges, more jitter,
   // a different (CMOS) delay.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace mgt::vortex {
@@ -46,8 +47,33 @@ TrafficResult run_traffic(const Geometry& geometry, TrafficPattern pattern,
                           double hotspot_fraction) {
   MGT_CHECK(load >= 0.0 && load <= 1.0);
   DataVortex fabric(geometry);
-  Rng rng(seed);
   const std::size_t ports = geometry.height_count;
+
+  // Traffic generation: every input port draws its injection decisions and
+  // destinations from its own Rng stream derived from (seed, port), so the
+  // per-port schedules are independent tasks generated concurrently and
+  // never depend on thread count or on each other. Only the deflection-
+  // routed fabric itself (ports interact every slot) steps serially below.
+  struct SlotPlan {
+    bool inject = false;
+    std::uint32_t destination = 0;
+  };
+  std::vector<std::vector<SlotPlan>> schedule(ports);
+  util::parallel_for(ports, [&](std::size_t port) {
+    Rng rng = util::task_rng(seed, port);
+    auto& plan = schedule[port];
+    plan.resize(slots);
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      if (!rng.chance(load)) {
+        continue;
+      }
+      plan[slot] = SlotPlan{
+          .inject = true,
+          .destination = traffic_destination(pattern, port, ports, rng,
+                                             hotspot_fraction),
+      };
+    }
+  });
 
   std::uint64_t id = 1;
   std::uint64_t attempts = 0;
@@ -84,14 +110,13 @@ TrafficResult run_traffic(const Geometry& geometry, TrafficPattern pattern,
 
   for (std::size_t slot = 0; slot < slots; ++slot) {
     for (std::size_t port = 0; port < ports; ++port) {
-      if (!rng.chance(load)) {
+      if (!schedule[port][slot].inject) {
         continue;
       }
       ++attempts;
       Packet p;
       p.id = id++;
-      p.destination =
-          traffic_destination(pattern, port, ports, rng, hotspot_fraction);
+      p.destination = schedule[port][slot].destination;
       const std::uint64_t pid = p.id;
       if (!fabric.inject(std::move(p), port)) {
         ++blocked;

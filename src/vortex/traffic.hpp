@@ -45,7 +45,11 @@ struct TrafficResult {
   double reorder_rate = 0.0;
 };
 
-/// Runs `slots` of the pattern at `load` on a fresh fabric.
+/// Runs `slots` of the pattern at `load` on a fresh fabric. Each input
+/// port draws from its own Rng stream derived from (seed, port), so
+/// traffic generation parallelizes across ports (util::parallel_for) with
+/// results identical at every MGT_THREADS setting; the fabric steps
+/// serially.
 TrafficResult run_traffic(const Geometry& geometry, TrafficPattern pattern,
                           double load, std::size_t slots, std::uint64_t seed,
                           double hotspot_fraction = 0.5);
