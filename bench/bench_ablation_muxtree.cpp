@@ -58,7 +58,7 @@ void run_reproduction(ReportTable& table) {
         variant.name,
         "lower DJ -> wider eye",
         "TJ " + fmt(eye.jitter.peak_to_peak.ps(), 1) + " ps, eye " +
-            fmt(eye.eye_opening_ui, 3) + " UI, RJ(sigma) " +
+            fmt(eye.eye_opening.ui(), 3) + " UI, RJ(sigma) " +
             fmt(probe.total_rj_sigma().ps(), 2) + " ps",
         "-");
   }
@@ -83,7 +83,7 @@ void run_reproduction(ReportTable& table) {
     table.add_comparison("stage skew x" + fmt(scale, 1),
                          "TJ grows with skew",
                          "TJ " + fmt(tj, 1) + " ps, eye " +
-                             fmt(eye.eye_opening_ui, 3) + " UI",
+                             fmt(eye.eye_opening.ui(), 3) + " UI",
                          "-");
   }
   table.add_comparison("skew -> TJ monotonicity", "expected", "-",

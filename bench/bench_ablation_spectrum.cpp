@@ -66,7 +66,7 @@ void run_reproduction(ReportTable& table) {
     table.add_comparison("strongest TIE tone (injected 40 MHz, 4 ps)",
                          "tone localized",
                          fmt(tones.front().frequency.mhz(), 1) + " MHz, " +
-                             fmt(tones.front().amplitude_ps, 1) + " ps",
+                             fmt(tones.front().amplitude.ps(), 1) + " ps",
                          bench::verdict(tones.front().frequency.mhz(), 40.0,
                                         4.0));
   } else {
@@ -102,7 +102,7 @@ void run_reproduction(ReportTable& table) {
                        "none (clean supplies/RF source)",
                        real_tones.empty()
                            ? "none detected"
-                           : fmt(real_tones.front().amplitude_ps, 1) +
+                           : fmt(real_tones.front().amplitude.ps(), 1) +
                                  " ps tone",
                        real_tones.empty() ? "OK (clean)" : "DEVIATES");
 }

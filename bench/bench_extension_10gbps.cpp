@@ -77,11 +77,11 @@ void run_reproduction(ReportTable& table) {
     sys.program_prbs(7, 0xACE1);
     sys.start();
     const auto eye = sys.measure_eye(20000);
-    const bool usable = eye.eye_opening_ui >= 0.5 && eye.eye_height.mv() > 0;
+    const bool usable = eye.eye_opening.ui() >= 0.5 && eye.eye_height.mv() > 0;
     table.add_comparison(
         v.name, "usable eye at UI = 100 ps?",
         "TJ " + fmt(eye.jitter.peak_to_peak.ps(), 1) + " ps, eye " +
-            fmt(eye.eye_opening_ui, 2) + " UI, height " +
+            fmt(eye.eye_opening.ui(), 2) + " UI, height " +
             fmt(eye.eye_height.mv(), 0) + " mV",
         usable ? "usable" : "NOT usable");
   }

@@ -41,8 +41,8 @@ inline void run_eye_reproduction(ReportTable& table,
   }
   table.add_comparison(
       "usable eye opening", fmt_unit(spec.paper_opening_ui, "UI", 2),
-      fmt_unit(metrics.eye_opening_ui, "UI", 3),
-      verdict(metrics.eye_opening_ui, spec.paper_opening_ui,
+      fmt_unit(metrics.eye_opening.ui(), "UI", 3),
+      verdict(metrics.eye_opening.ui(), spec.paper_opening_ui,
               spec.ui_tolerance));
   table.add_comparison("eye height (vertical)", "open",
                        fmt_unit(metrics.eye_height.mv(), "mV", 0),

@@ -33,7 +33,7 @@ int main() {
   const auto eye = sys.measure_eye(20000);
   std::printf("1. eye:   TJ %.1f ps p-p over %zu edges -> %.3f UI opening\n",
               eye.jitter.peak_to_peak.ps(), eye.jitter.count,
-              eye.eye_opening_ui);
+              eye.eye_opening.ui());
 
   // 2. RJ floor from an isolated edge.
   const auto edge = sys.measure_single_edge_jitter(10000);
@@ -71,7 +71,7 @@ int main() {
   if (fit.valid()) {
     std::printf("4. bathtub fit (5 Gbps capture): RJ %.2f ps, eye at BER "
                 "1e-12 = %.0f ps of the 200 ps UI\n",
-                fit.rj_sigma_ps(), fit.eye_at_ber_ps(1e-12));
+                fit.rj_sigma().ps(), fit.eye_at_ber(1e-12).ps());
   }
 
   // 5. TIE spectrum: the real channel is clean; a synthetic channel with
@@ -99,7 +99,7 @@ int main() {
   if (!dirty_tones.empty()) {
     std::printf("   injected 4 ps @ 25 MHz tone -> detected %.1f ps @ "
                 "%.1f MHz\n",
-                dirty_tones.front().amplitude_ps,
+                dirty_tones.front().amplitude.ps(),
                 dirty_tones.front().frequency.mhz());
   }
   return 0;

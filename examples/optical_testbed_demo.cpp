@@ -47,12 +47,12 @@ int main() {
     for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
       std::printf("  ch%zu: skew %+7.1f ps -> code %4zu -> residual "
                   "%+5.1f ps\n",
-                  ch, report.initial_skew_ps[ch],
-                  report.programmed_codes[ch], report.residual_skew_ps[ch]);
+                  ch, report.initial_skew[ch].ps(),
+                  report.programmed_codes[ch], report.residual_skew[ch].ps());
     }
     std::printf("  worst residual %.1f ps (paper's accuracy target: "
                 "+-25 ps)\n\n",
-                report.worst_residual_ps());
+                report.worst_residual().ps());
   }
 
   // --- One packet, end to end --------------------------------------------

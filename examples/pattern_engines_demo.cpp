@@ -75,6 +75,6 @@ int main() {
               stim.edges.well_formed() ? "well-formed" : "CORRUPT");
   const auto eye = system.measure_eye(12000);
   std::printf("burst-pattern eye: %.1f ps p-p jitter, %.3f UI opening\n",
-              eye.jitter.peak_to_peak.ps(), eye.eye_opening_ui);
+              eye.jitter.peak_to_peak.ps(), eye.eye_opening.ui());
   return 0;
 }

@@ -37,7 +37,7 @@ int main() {
   std::printf("  crossover jitter : %.1f ps p-p, %.2f ps rms\n",
               metrics.jitter.peak_to_peak.ps(), metrics.jitter.rms.ps());
   std::printf("  usable opening   : %.3f UI (paper: 0.88 UI)\n",
-              metrics.eye_opening_ui);
+              metrics.eye_opening.ui());
   std::printf("  vertical opening : %.0f mV\n\n", metrics.eye_height.mv());
   std::printf("%s\n", eye.ascii_art(72, 18).c_str());
 

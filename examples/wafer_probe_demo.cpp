@@ -47,7 +47,7 @@ int main() {
   std::printf("Loopback eye at 5 Gbps: %.1f ps p-p jitter, %.3f UI opening\n"
               "(bare TX eye in the paper's Fig 19: 0.75 UI; the DUT's leads "
               "cost a little more)\n\n",
-              eye.jitter.peak_to_peak.ps(), eye.eye_opening_ui);
+              eye.jitter.peak_to_peak.ps(), eye.eye_opening.ui());
 
   // --- BIST production screen ----------------------------------------------
   std::printf("BIST screen (MISR signature compare):\n");

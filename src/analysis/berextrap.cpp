@@ -47,10 +47,10 @@ double q_of_ber(double ber) {
   return inverse_normal_cdf(1.0 - ber);
 }
 
-double BathtubFit::eye_at_ber_ps(double ber) const {
+Picoseconds BathtubFit::eye_at_ber(double ber) const {
   const double q = q_of_ber(ber);
-  const double left_edge = left_mu_ps + q * left_sigma_ps;
-  const double right_edge = right_mu_ps - q * right_sigma_ps;
+  const Picoseconds left_edge = left_mu + q * left_sigma;
+  const Picoseconds right_edge = right_mu - q * right_sigma;
   return right_edge - left_edge;  // negative = closed at this BER
 }
 
@@ -119,10 +119,10 @@ BathtubFit fit_bathtub(const std::vector<BathtubPoint>& scan,
   if (!left_ok || !right_ok) {
     return fit;
   }
-  fit.left_sigma_ps = 1.0 / ml;
-  fit.left_mu_ps = -cl / ml;
-  fit.right_sigma_ps = -1.0 / mr;
-  fit.right_mu_ps = -cr / mr;
+  fit.left_sigma = Picoseconds{1.0 / ml};
+  fit.left_mu = Picoseconds{-cl / ml};
+  fit.right_sigma = Picoseconds{-1.0 / mr};
+  fit.right_mu = Picoseconds{-cr / mr};
   fit.points_used = lx.size() + rx.size();
   return fit;
 }

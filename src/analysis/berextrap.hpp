@@ -23,18 +23,18 @@ double q_of_ber(double ber);
 
 /// Result of fitting one bathtub.
 struct BathtubFit {
-  // Per-side Gaussian tail fits (time in ps, increasing into the eye).
-  double left_sigma_ps = 0.0;
-  double left_mu_ps = 0.0;    // dual-Dirac edge position (Q = 0 intercept)
-  double right_sigma_ps = 0.0;
-  double right_mu_ps = 0.0;
+  // Per-side Gaussian tail fits (time increasing into the eye).
+  Picoseconds left_sigma{0.0};
+  Picoseconds left_mu{0.0};   // dual-Dirac edge position (Q = 0 intercept)
+  Picoseconds right_sigma{0.0};
+  Picoseconds right_mu{0.0};
   std::size_t points_used = 0;
 
-  [[nodiscard]] double rj_sigma_ps() const {
-    return (left_sigma_ps + right_sigma_ps) / 2.0;
+  [[nodiscard]] Picoseconds rj_sigma() const {
+    return (left_sigma + right_sigma) / 2.0;
   }
-  /// Eye opening (ps) extrapolated to the given BER.
-  [[nodiscard]] double eye_at_ber_ps(double ber) const;
+  /// Eye opening extrapolated to the given BER.
+  [[nodiscard]] Picoseconds eye_at_ber(double ber) const;
   [[nodiscard]] bool valid() const { return points_used >= 4; }
 };
 

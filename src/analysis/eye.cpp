@@ -158,7 +158,7 @@ EyeMetrics EyeDiagram::metrics() const {
   EyeMetrics m;
   m.jitter = measure_crossover_jitter(crossings(), config_.ui, config_.t_ref);
   m.eye_width = config_.ui - m.jitter.peak_to_peak;
-  m.eye_opening_ui = m.eye_width.ps() / config_.ui.ps();
+  m.eye_opening = UnitIntervals{m.eye_width.ps() / config_.ui.ps()};
   m.eye_height = eye_height();
   m.level_high = level_high();
   m.level_low = level_low();

@@ -41,7 +41,7 @@ CrossoverJitter measure_edge_jitter(const std::vector<sig::Crossing>& crossings,
 /// Summary eye metrics in the units the paper uses.
 struct EyeMetrics {
   CrossoverJitter jitter;
-  double eye_opening_ui = 0.0;   // 1 - TJpp/UI
+  UnitIntervals eye_opening{0.0};  // 1 - TJpp/UI
   Picoseconds eye_width{0.0};    // UI - TJpp
   Millivolts eye_height{0.0};    // vertical opening at eye center
   Millivolts level_high{0.0};    // settled logic-high voltage

@@ -83,8 +83,8 @@ std::vector<SpectrumBin> jitter_spectrum(const TieSequence& tie,
     SpectrumBin bin;
     std::size_t peak_m = lo;
     for (std::size_t m = lo; m <= hi && m <= n_natural; ++m) {
-      if (natural_amp[m] > bin.amplitude_ps) {
-        bin.amplitude_ps = natural_amp[m];
+      if (natural_amp[m] > bin.amplitude.ps()) {
+        bin.amplitude = Picoseconds{natural_amp[m]};
         peak_m = m;
       }
     }
@@ -104,27 +104,27 @@ std::vector<Tone> find_tones(const std::vector<SpectrumBin>& spectrum,
   std::vector<double> mags;
   mags.reserve(spectrum.size());
   for (const auto& bin : spectrum) {
-    mags.push_back(bin.amplitude_ps);
+    mags.push_back(bin.amplitude.ps());
   }
   std::nth_element(mags.begin(), mags.begin() + mags.size() / 2, mags.end());
   const double median = mags[mags.size() / 2];
   const double threshold = floor_factor * std::max(median, 1e-12);
 
   for (std::size_t b = 0; b < spectrum.size(); ++b) {
-    if (spectrum[b].amplitude_ps < threshold) {
+    if (spectrum[b].amplitude.ps() < threshold) {
       continue;
     }
     // Local maximum only (skip the skirts of a strong tone).
-    const double left = b > 0 ? spectrum[b - 1].amplitude_ps : 0.0;
+    const double left = b > 0 ? spectrum[b - 1].amplitude.ps() : 0.0;
     const double right =
-        b + 1 < spectrum.size() ? spectrum[b + 1].amplitude_ps : 0.0;
-    if (spectrum[b].amplitude_ps >= left &&
-        spectrum[b].amplitude_ps >= right) {
-      tones.push_back(Tone{spectrum[b].frequency, spectrum[b].amplitude_ps});
+        b + 1 < spectrum.size() ? spectrum[b + 1].amplitude.ps() : 0.0;
+    if (spectrum[b].amplitude.ps() >= left &&
+        spectrum[b].amplitude.ps() >= right) {
+      tones.push_back(Tone{spectrum[b].frequency, spectrum[b].amplitude});
     }
   }
   std::sort(tones.begin(), tones.end(), [](const Tone& a, const Tone& b) {
-    return a.amplitude_ps > b.amplitude_ps;
+    return a.amplitude > b.amplitude;
   });
   return tones;
 }

@@ -32,7 +32,7 @@ TieSequence extract_tie(const std::vector<sig::Crossing>& crossings,
 /// One bin of the jitter spectrum.
 struct SpectrumBin {
   Gigahertz frequency{0.0};
-  double amplitude_ps = 0.0;  // 0-to-peak sinusoidal amplitude equivalent
+  Picoseconds amplitude{0.0};  // 0-to-peak sinusoidal amplitude equivalent
 };
 
 /// Magnitude spectrum of the TIE sequence (Hann-windowed DFT; O(n*bins)).
@@ -44,7 +44,7 @@ std::vector<SpectrumBin> jitter_spectrum(const TieSequence& tie,
 /// when the spectrum is flat, i.e. pure RJ).
 struct Tone {
   Gigahertz frequency{0.0};
-  double amplitude_ps = 0.0;
+  Picoseconds amplitude{0.0};
 };
 std::vector<Tone> find_tones(const std::vector<SpectrumBin>& spectrum,
                              double floor_factor = 6.0);

@@ -61,11 +61,11 @@ DelayLinearity fit_delay_linearity(const std::vector<double>& codes,
 
   DelayLinearity out;
   out.gain_ps_per_code = (n * sxy - sx * sy) / denom;
-  out.offset_ps = (sy - out.gain_ps_per_code * sx) / n;
+  out.offset = Picoseconds{(sy - out.gain_ps_per_code * sx) / n};
 
   double max_inl = 0.0;
   for (std::size_t i = 0; i < codes.size(); ++i) {
-    const double fitted = out.gain_ps_per_code * codes[i] + out.offset_ps;
+    const double fitted = out.gain_ps_per_code * codes[i] + out.offset.ps();
     max_inl = std::max(max_inl, std::abs(delays[i].ps() - fitted));
   }
   out.max_inl = Picoseconds{max_inl};

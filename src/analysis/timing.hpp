@@ -38,7 +38,7 @@ PlacementAccuracy measure_placement(const std::vector<sig::Crossing>& measured,
 /// offset, then report step size, monotonicity, and worst residual (INL).
 struct DelayLinearity {
   double gain_ps_per_code = 0.0;   // fitted step size
-  double offset_ps = 0.0;          // fitted fixed delay
+  Picoseconds offset{0.0};         // fitted fixed delay
   Picoseconds max_inl{0.0};        // worst deviation from the fit
   Picoseconds max_dnl{0.0};        // worst step-to-step deviation from gain
   bool monotonic = true;

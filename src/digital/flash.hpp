@@ -15,7 +15,8 @@ namespace mgt::dig {
 class FlashMemory {
 public:
   /// `sectors` sectors of `sector_size` bytes each, initially erased.
-  FlashMemory(std::size_t sectors = 64, std::size_t sector_size = 16 * 1024);
+  explicit FlashMemory(std::size_t sectors = 64,
+                       std::size_t sector_size = 16 * 1024);
 
   [[nodiscard]] std::size_t size() const { return bytes_.size(); }
   [[nodiscard]] std::size_t sector_count() const { return sectors_; }

@@ -54,9 +54,10 @@ struct SequencerLimits {
 
 class TestSequencer {
 public:
-  TestSequencer(std::vector<SeqInstruction> program,
-                std::map<std::uint32_t, BitVector> pattern_banks = {},
-                SequencerLimits limits = {});
+  explicit TestSequencer(
+      std::vector<SeqInstruction> program,
+      std::map<std::uint32_t, BitVector> pattern_banks = {},
+      SequencerLimits limits = {});
 
   /// Executes from instruction 0 to Halt; returns the emitted bit stream.
   /// Throws mgt::Error on malformed programs (unmatched LoopEnd, stack

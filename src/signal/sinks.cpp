@@ -58,22 +58,21 @@ StrobeSampler::StrobeSampler(std::vector<Picoseconds> strobes, Config config,
   analog_.assign(strobes_.size(), Millivolts{0.0});
 }
 
-void StrobeSampler::capture(double strobe_ps, double v_mv,
-                            double slope_mv_per_ps) {
-  bool bit = v_mv >= config_.threshold.mv();
-  if (config_.aperture.ps() > 0.0 && slope_mv_per_ps != 0.0) {
+void StrobeSampler::capture(Picoseconds strobe, Millivolts v, MvPerPs slope) {
+  bool bit = v >= config_.threshold;
+  if (config_.aperture.ps() > 0.0 && slope.mv_per_ps() != 0.0) {
     // Metastability: if the threshold crossing lies within the aperture
     // around the strobe, the latch resolves randomly.
     const double t_to_threshold =
-        (config_.threshold.mv() - v_mv) / slope_mv_per_ps;
+        (config_.threshold - v).mv() / slope.mv_per_ps();
     if (std::abs(t_to_threshold) <= config_.aperture.ps() / 2.0) {
       bit = rng_.chance(0.5);
     }
   }
   bits_.set(next_, bit);
-  analog_[next_] = Millivolts{v_mv};
+  analog_[next_] = v;
   ++next_;
-  (void)strobe_ps;
+  (void)strobe;
 }
 
 void StrobeSampler::on_sample(Picoseconds t, Millivolts v) {
@@ -89,9 +88,9 @@ void StrobeSampler::on_sample(Picoseconds t, Millivolts v) {
       }
       const double span = t.ps() - prev_t_;
       const double frac = span > 0.0 ? (s - prev_t_) / span : 0.0;
-      const double v_mv = prev_v_ + frac * (v.mv() - prev_v_);
+      const double v_at_strobe = prev_v_ + frac * (v.mv() - prev_v_);
       const double slope = span > 0.0 ? (v.mv() - prev_v_) / span : 0.0;
-      capture(s, v_mv, slope);
+      capture(Picoseconds{s}, Millivolts{v_at_strobe}, MvPerPs{slope});
     }
   }
   prev_t_ = t.ps();
@@ -108,8 +107,8 @@ void StrobeSampler::finish() {
 }
 
 AmplitudeTracker::AmplitudeTracker(Millivolts decision_threshold,
-                                   double slope_limit_mv_per_ps)
-    : threshold_(decision_threshold), slope_limit_(slope_limit_mv_per_ps) {}
+                                   MvPerPs slope_limit)
+    : threshold_(decision_threshold), slope_limit_(slope_limit) {}
 
 void AmplitudeTracker::on_sample(Picoseconds t, Millivolts v) {
   max_ = std::max(max_, v.mv());
@@ -117,7 +116,7 @@ void AmplitudeTracker::on_sample(Picoseconds t, Millivolts v) {
   if (have_prev_) {
     const double dt = t.ps() - prev_t_;
     const double slope = dt > 0.0 ? std::abs(v.mv() - prev_v_) / dt : 0.0;
-    if (slope <= slope_limit_) {
+    if (slope <= slope_limit_.mv_per_ps()) {
       if (v.mv() >= threshold_.mv()) {
         high_.add(v.mv());
       } else {

@@ -98,7 +98,7 @@ public:
   [[nodiscard]] std::size_t missed() const { return missed_; }
 
 private:
-  void capture(double strobe_ps, double v_mv, double slope_mv_per_ps);
+  void capture(Picoseconds strobe, Millivolts v, MvPerPs slope);
 
   std::vector<Picoseconds> strobes_;  // jittered, sorted
   Config config_;
@@ -120,7 +120,7 @@ class AmplitudeTracker final : public WaveformSink {
 public:
   /// `slope_limit` is the |dV/dt| below which a sample counts as settled.
   explicit AmplitudeTracker(Millivolts decision_threshold,
-                            double slope_limit_mv_per_ps = 0.5);
+                            MvPerPs slope_limit = MvPerPs{0.5});
 
   void on_sample(Picoseconds t, Millivolts v) override;
   void on_context(Picoseconds t, Millivolts v) override;
@@ -139,7 +139,7 @@ public:
 
 private:
   Millivolts threshold_;
-  double slope_limit_;
+  MvPerPs slope_limit_;
   bool have_prev_ = false;
   double prev_t_ = 0.0;
   double prev_v_ = 0.0;

@@ -37,19 +37,19 @@ TestbedPacket alignment_packet(const SlotFormat& format) {
 
 }  // namespace
 
-double CalibrationReport::worst_residual_ps() const {
+Picoseconds CalibrationReport::worst_residual() const {
   double worst = 0.0;
-  for (double r : residual_skew_ps) {
-    worst = std::max(worst, std::abs(r));
+  for (const Picoseconds r : residual_skew) {
+    worst = std::max(worst, std::abs(r.ps()));
   }
-  return worst;
+  return Picoseconds{worst};
 }
 
-bool CalibrationReport::within(double bound_ps) const {
-  return worst_residual_ps() <= bound_ps;
+bool CalibrationReport::within(Picoseconds bound) const {
+  return worst_residual() <= bound;
 }
 
-std::array<double, kHighSpeedChannels> measure_channel_skew(
+std::array<Picoseconds, kHighSpeedChannels> measure_channel_skew(
     OpticalTransmitter& tx, std::size_t averaging_slots) {
   MGT_CHECK(averaging_slots >= 1);
   const SlotFormat& fmt = tx.config().format;
@@ -71,18 +71,18 @@ std::array<double, kHighSpeedChannels> measure_channel_skew(
       stats[ch].add(t_data - t_clock - nominal_lead);
     }
   }
-  std::array<double, kHighSpeedChannels> skew{};
+  std::array<Picoseconds, kHighSpeedChannels> skew{};
   for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
-    skew[ch] = stats[ch].mean();
+    skew[ch] = Picoseconds{stats[ch].mean()};
   }
-  skew[kClockChannel] = 0.0;  // the reference, by definition
+  skew[kClockChannel] = Picoseconds{0.0};  // the reference, by definition
   return skew;
 }
 
 CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
                                         std::size_t averaging_slots) {
   CalibrationReport report;
-  report.initial_skew_ps = measure_channel_skew(tx, averaging_slots);
+  report.initial_skew = measure_channel_skew(tx, averaging_slots);
 
   const double step = tx.channel_delay(0).config().step.ps();
   std::array<std::size_t, kHighSpeedChannels> codes{};
@@ -96,11 +96,11 @@ CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
   for (int pass = 0; pass < 2; ++pass) {
     const auto skew = measure_channel_skew(tx, averaging_slots);
     // Delays can only be added, so align everyone to the latest channel.
-    const double latest = *std::max_element(skew.begin(), skew.end());
+    const Picoseconds latest = *std::max_element(skew.begin(), skew.end());
     for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
-      const double needed_ps = latest - skew[ch];
+      const Picoseconds needed = latest - skew[ch];
       const auto delta =
-          static_cast<long>(std::lround(needed_ps / step));
+          static_cast<long>(std::lround(needed.ps() / step));
       const long code = static_cast<long>(codes[ch]) + delta;
       const long max_code =
           static_cast<long>(tx.channel_delay(ch).code_count()) - 1;
@@ -110,16 +110,16 @@ CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
   }
 
   report.programmed_codes = codes;
-  report.residual_skew_ps = measure_channel_skew(tx, averaging_slots);
+  report.residual_skew = measure_channel_skew(tx, averaging_slots);
   // Re-reference residuals to their own mean so a common-mode shift of the
   // whole bus (which the receiver tracks source-synchronously) is not
   // counted as skew.
-  double mean = 0.0;
-  for (double r : report.residual_skew_ps) {
+  Picoseconds mean{0.0};
+  for (const Picoseconds r : report.residual_skew) {
     mean += r;
   }
-  mean /= static_cast<double>(kHighSpeedChannels);
-  for (double& r : report.residual_skew_ps) {
+  mean = mean / static_cast<double>(kHighSpeedChannels);
+  for (Picoseconds& r : report.residual_skew) {
     r -= mean;
   }
   return report;

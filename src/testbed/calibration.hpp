@@ -20,17 +20,17 @@ namespace mgt::testbed {
 /// Result of calibrating one transmitter.
 struct CalibrationReport {
   /// Skew of each high-speed channel relative to the clock channel before
-  /// calibration (ps; positive = later than clock).
-  std::array<double, kHighSpeedChannels> initial_skew_ps{};
+  /// calibration (positive = later than clock).
+  std::array<Picoseconds, kHighSpeedChannels> initial_skew{};
   /// Delay codes programmed by the calibration.
   std::array<std::size_t, kHighSpeedChannels> programmed_codes{};
   /// Residual skew after calibration.
-  std::array<double, kHighSpeedChannels> residual_skew_ps{};
+  std::array<Picoseconds, kHighSpeedChannels> residual_skew{};
 
   /// Worst |residual| across channels.
-  [[nodiscard]] double worst_residual_ps() const;
+  [[nodiscard]] Picoseconds worst_residual() const;
   /// True when every residual is within the bound (paper: ~+-25 ps).
-  [[nodiscard]] bool within(double bound_ps) const;
+  [[nodiscard]] bool within(Picoseconds bound) const;
 };
 
 /// Measures each channel's mean edge time relative to the clock channel
@@ -46,7 +46,7 @@ CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
 /// Measures the current per-channel skew (relative to the clock channel)
 /// without changing any programming. Element kClockChannel is 0 by
 /// construction.
-std::array<double, kHighSpeedChannels> measure_channel_skew(
+std::array<Picoseconds, kHighSpeedChannels> measure_channel_skew(
     OpticalTransmitter& tx, std::size_t averaging_slots = 8);
 
 }  // namespace mgt::testbed

@@ -93,6 +93,35 @@ struct Gigahertz : detail::Scalar<Gigahertz> {
   }
 };
 
+/// Dimensionless time expressed in unit intervals (bit periods). Used for
+/// eye openings and jitter budgets quoted "in UI" the way the paper does.
+struct UnitIntervals : detail::Scalar<UnitIntervals> {
+  using Scalar::Scalar;
+  [[nodiscard]] constexpr double ui() const { return v; }
+  /// Absolute time at a given bit period.
+  [[nodiscard]] constexpr Picoseconds at(Picoseconds unit_interval) const {
+    return Picoseconds{v * unit_interval.ps()};
+  }
+};
+
+/// Voltage slew rate in millivolts per picosecond (scope-style dV/dt).
+struct MvPerPs : detail::Scalar<MvPerPs> {
+  using Scalar::Scalar;
+  [[nodiscard]] constexpr double mv_per_ps() const { return v; }
+};
+
+/// dV/dt of a voltage change over a time span.
+constexpr MvPerPs operator/(Millivolts dv, Picoseconds dt) {
+  return MvPerPs{dv.mv() / dt.ps()};
+}
+/// Voltage change accumulated at a slew rate over a time span.
+constexpr Millivolts operator*(MvPerPs slope, Picoseconds dt) {
+  return Millivolts{slope.mv_per_ps() * dt.ps()};
+}
+constexpr Millivolts operator*(Picoseconds dt, MvPerPs slope) {
+  return slope * dt;
+}
+
 /// Data rate in gigabits per second.
 struct GbitsPerSec : detail::Scalar<GbitsPerSec> {
   using Scalar::Scalar;

@@ -8,14 +8,14 @@ namespace mgt::vortex {
 
 namespace {
 
-sig::EdgeStream delay_and_jitter(const sig::EdgeStream& in, double delay_ps,
-                                 double rj_sigma_ps, Rng& rng) {
+sig::EdgeStream delay_and_jitter(const sig::EdgeStream& in, Picoseconds delay,
+                                 Picoseconds rj_sigma, Rng& rng) {
   sig::EdgeStream out(in.initial_level());
   double last = -1e300;
   for (const auto& tr : in.transitions()) {
-    double t = tr.time.ps() + delay_ps;
-    if (rj_sigma_ps > 0.0) {
-      t += rng.gaussian(0.0, rj_sigma_ps);
+    double t = tr.time.ps() + delay.ps();
+    if (rj_sigma.ps() > 0.0) {
+      t += rng.gaussian(0.0, rj_sigma.ps());
     }
     t = std::max(t, last + 1e-3);
     out.push(Picoseconds{t}, tr.level);
@@ -30,8 +30,8 @@ OpticalStream LaserDriver::modulate(const sig::EdgeStream& electrical) {
   OpticalStream out;
   out.wavelength_nm = config_.wavelength_nm;
   out.power_dbm = config_.launch_power_dbm;
-  out.edges = delay_and_jitter(electrical, config_.prop_delay.ps(),
-                               config_.rj_sigma.ps(), rng_);
+  out.edges = delay_and_jitter(electrical, config_.prop_delay,
+                               config_.rj_sigma, rng_);
   return out;
 }
 
@@ -59,8 +59,8 @@ sig::EdgeStream Photodetector::detect(const OpticalStream& in) {
   if (!detects(in)) {
     throw Error("optical power below detector sensitivity: link budget");
   }
-  return delay_and_jitter(in.edges, config_.prop_delay.ps(),
-                          config_.rj_sigma.ps(), rng_);
+  return delay_and_jitter(in.edges, config_.prop_delay, config_.rj_sigma,
+                          rng_);
 }
 
 LinkBudget compute_link_budget(const LaserDriver::Config& laser,

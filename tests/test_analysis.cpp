@@ -119,7 +119,7 @@ TEST(EyeDiagram, CleanEyeHasFullOpening) {
 
   const auto metrics = eye.metrics();
   // Deterministic edges: only the pole's tiny ISI spreads the crossings.
-  EXPECT_GT(metrics.eye_opening_ui, 0.97);
+  EXPECT_GT(metrics.eye_opening.ui(), 0.97);
   EXPECT_GT(metrics.eye_height.mv(), 600.0);
   EXPECT_NEAR(metrics.level_high.mv(), 2400.0, 10.0);
   EXPECT_NEAR(metrics.level_low.mv(), 1600.0, 10.0);
@@ -148,7 +148,7 @@ TEST(EyeDiagram, JitterClosesTheEyeProportionally) {
   const auto metrics = eye.metrics();
   // TJ ~= DJ of 60 ps -> opening ~= 1 - 60/400 = 0.85 UI.
   EXPECT_NEAR(metrics.jitter.peak_to_peak.ps(), dj, 8.0);
-  EXPECT_NEAR(metrics.eye_opening_ui, 1.0 - dj / 400.0, 0.03);
+  EXPECT_NEAR(metrics.eye_opening.ui(), 1.0 - dj / 400.0, 0.03);
 }
 
 TEST(EyeDiagram, AsciiArtHasExpectedShape) {
@@ -304,7 +304,7 @@ TEST(Timing, DelayLinearityFitRecoversGainAndOffset) {
   }
   const auto fit = fit_delay_linearity(codes, delays);
   EXPECT_NEAR(fit.gain_ps_per_code, 10.05, 0.05);
-  EXPECT_NEAR(fit.offset_ps, 3.0, 3.0);
+  EXPECT_NEAR(fit.offset.ps(), 3.0, 3.0);
   EXPECT_LT(fit.max_inl.ps(), 6.0);
   EXPECT_TRUE(fit.monotonic);
 }
@@ -354,19 +354,19 @@ TEST(BerExtrap, FitRecoversKnownDualDiracWalls) {
 
   const auto fit = fit_bathtub(scan);
   ASSERT_TRUE(fit.valid());
-  EXPECT_NEAR(fit.left_mu_ps, mu_l, 0.05);
-  EXPECT_NEAR(fit.left_sigma_ps, sigma_l, 0.05);
-  EXPECT_NEAR(fit.right_mu_ps, mu_r, 0.05);
-  EXPECT_NEAR(fit.right_sigma_ps, sigma_r, 0.05);
-  EXPECT_NEAR(fit.rj_sigma_ps(), (sigma_l + sigma_r) / 2.0, 0.05);
+  EXPECT_NEAR(fit.left_mu.ps(), mu_l, 0.05);
+  EXPECT_NEAR(fit.left_sigma.ps(), sigma_l, 0.05);
+  EXPECT_NEAR(fit.right_mu.ps(), mu_r, 0.05);
+  EXPECT_NEAR(fit.right_sigma.ps(), sigma_r, 0.05);
+  EXPECT_NEAR(fit.rj_sigma().ps(), (sigma_l + sigma_r) / 2.0, 0.05);
 
   // Extrapolated opening at BER 1e-12 follows TJ = DJ + 2*Q*RJ.
   const double q12 = q_of_ber(1e-12);
   const double expected =
       (mu_r - q12 * sigma_r) - (mu_l + q12 * sigma_l);
-  EXPECT_NEAR(fit.eye_at_ber_ps(1e-12), expected, 0.5);
+  EXPECT_NEAR(fit.eye_at_ber(1e-12).ps(), expected, 0.5);
   // A deeper BER target always shrinks the extrapolated eye.
-  EXPECT_LT(fit.eye_at_ber_ps(1e-12), fit.eye_at_ber_ps(1e-9));
+  EXPECT_LT(fit.eye_at_ber(1e-12).ps(), fit.eye_at_ber(1e-9).ps());
 }
 
 TEST(BerExtrap, DegenerateScansAreInvalid) {

@@ -77,7 +77,7 @@ TEST(PaperNumbers, Fig7EyeAt2G5) {
   const auto eye = sys.measure_eye(20000);
   // Paper: 46.7 ps p-p, 0.88 UI usable opening.
   EXPECT_NEAR(eye.jitter.peak_to_peak.ps(), 46.7, 6.0);
-  EXPECT_NEAR(eye.eye_opening_ui, 0.88, 0.02);
+  EXPECT_NEAR(eye.eye_opening.ui(), 0.88, 0.02);
   EXPECT_GT(eye.eye_height.mv(), 300.0);  // clearly open
 }
 
@@ -88,7 +88,7 @@ TEST(PaperNumbers, Fig8EyeAt4G0) {
   const auto eye = sys.measure_eye(20000);
   // Paper: 47.2 ps p-p, 0.81 UI, "no visible signal attenuation".
   EXPECT_NEAR(eye.jitter.peak_to_peak.ps(), 47.2, 6.0);
-  EXPECT_NEAR(eye.eye_opening_ui, 0.81, 0.025);
+  EXPECT_NEAR(eye.eye_opening.ui(), 0.81, 0.025);
 }
 
 TEST(PaperNumbers, JitterIsRateIndependent) {
@@ -103,7 +103,7 @@ TEST(PaperNumbers, JitterIsRateIndependent) {
     sys.start();
     const auto eye = sys.measure_eye(12000);
     tj[i] = eye.jitter.peak_to_peak.ps();
-    ui[i] = eye.eye_opening_ui;
+    ui[i] = eye.eye_opening.ui();
     ++i;
   }
   EXPECT_NEAR(tj[0], tj[1], 5.0);  // same jitter budget
@@ -184,7 +184,7 @@ TEST_P(MiniEye, OpeningMatchesPaper) {
   sys.program_prbs(7, 0xACE1);
   sys.start();
   const auto eye = sys.measure_eye(20000);
-  EXPECT_NEAR(eye.eye_opening_ui, param.paper_opening_ui, param.tolerance)
+  EXPECT_NEAR(eye.eye_opening.ui(), param.paper_opening_ui, param.tolerance)
       << param.rate_gbps << " Gbps";
   // "low jitter (~50 ps)" across all rates (Section 4).
   EXPECT_NEAR(eye.jitter.peak_to_peak.ps(), 50.0, 8.0);
@@ -202,7 +202,7 @@ TEST(PaperNumbersMini, EyeShrinksMonotonicallyWithRate) {
     TestSystem sys(presets::minitester(GbitsPerSec{rate}), 7);
     sys.program_prbs(7, 0xACE1);
     sys.start();
-    const double opening = sys.measure_eye(12000).eye_opening_ui;
+    const double opening = sys.measure_eye(12000).eye_opening.ui();
     EXPECT_LT(opening, previous) << rate;
     previous = opening;
   }

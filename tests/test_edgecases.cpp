@@ -72,7 +72,7 @@ TEST(EdgeCases, RenderConstantLineProducesNoCrossings) {
 
 TEST(EdgeCases, AmplitudeTrackerWithoutSettledSamples) {
   sig::AmplitudeTracker tracker(Millivolts{2000.0},
-                                /*slope_limit=*/1e-9);  // nothing settles
+                                MvPerPs{1e-9});  // nothing settles
   tracker.on_sample(Picoseconds{0.0}, Millivolts{1600.0});
   tracker.on_sample(Picoseconds{1.0}, Millivolts{2400.0});
   EXPECT_DOUBLE_EQ(tracker.settled_high().mv(), 0.0);  // empty stats

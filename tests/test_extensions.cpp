@@ -207,13 +207,13 @@ TEST(BerExtrap, FitRecoversSyntheticDualDirac) {
   }
   const auto fit = ana::fit_bathtub(scan, 1e-9);
   ASSERT_TRUE(fit.valid());
-  EXPECT_NEAR(fit.left_sigma_ps, sigma, 0.5);
-  EXPECT_NEAR(fit.right_sigma_ps, sigma, 0.5);
-  EXPECT_NEAR(fit.left_mu_ps, mu_l, 2.0);
-  EXPECT_NEAR(fit.right_mu_ps, mu_r, 2.0);
+  EXPECT_NEAR(fit.left_sigma.ps(), sigma, 0.5);
+  EXPECT_NEAR(fit.right_sigma.ps(), sigma, 0.5);
+  EXPECT_NEAR(fit.left_mu.ps(), mu_l, 2.0);
+  EXPECT_NEAR(fit.right_mu.ps(), mu_r, 2.0);
   // Eye at BER 1e-12: (mu_r - Q*sigma) - (mu_l + Q*sigma).
   const double expected = (mu_r - mu_l) - 2.0 * 7.034 * sigma;
-  EXPECT_NEAR(fit.eye_at_ber_ps(1e-12), expected, 3.0);
+  EXPECT_NEAR(fit.eye_at_ber(1e-12).ps(), expected, 3.0);
 }
 
 TEST(BerExtrap, FitOnRealMinitesterBathtub) {
@@ -225,7 +225,7 @@ TEST(BerExtrap, FitOnRealMinitesterBathtub) {
   ASSERT_TRUE(fit.valid());
   // Extrapolated deep-BER eye is narrower than the raw floor but positive.
   const double floor_ps = ana::bathtub_opening(scan, 1e-6).ps();
-  const double deep = fit.eye_at_ber_ps(1e-12);
+  const double deep = fit.eye_at_ber(1e-12).ps();
   EXPECT_GT(deep, 0.0);
   EXPECT_LT(deep, floor_ps + 10.0);
 }
@@ -373,15 +373,15 @@ TEST(Calibration, ReducesChannelSkewWithinSpec) {
   }
   const auto before = testbed::measure_channel_skew(tx);
   double worst_before = 0.0;
-  for (double s : before) {
-    worst_before = std::max(worst_before, std::abs(s));
+  for (const Picoseconds s : before) {
+    worst_before = std::max(worst_before, std::abs(s.ps()));
   }
   EXPECT_GT(worst_before, 900.0);  // ~1 ns of deliberate skew
 
   const auto report = testbed::calibrate_transmitter(tx);
-  EXPECT_TRUE(report.within(25.0))
-      << "worst residual " << report.worst_residual_ps() << " ps";
-  EXPECT_GT(report.worst_residual_ps(), 0.0);  // real parts, real residue
+  EXPECT_TRUE(report.within(Picoseconds{25.0}))
+      << "worst residual " << report.worst_residual().ps() << " ps";
+  EXPECT_GT(report.worst_residual().ps(), 0.0);  // real parts, real residue
 }
 
 TEST(Calibration, CalibratedBusReceivesCleanly) {

@@ -60,7 +60,7 @@ TEST(Spectrum, DetectsInjectedPeriodicTone) {
   const auto tones = ana::find_tones(spectrum);
   ASSERT_FALSE(tones.empty());
   EXPECT_NEAR(tones.front().frequency.ghz(), 0.05, 0.01);
-  EXPECT_NEAR(tones.front().amplitude_ps, 4.0, 1.5);
+  EXPECT_NEAR(tones.front().amplitude.ps(), 4.0, 1.5);
 }
 
 TEST(Spectrum, PureRjHasNoTones) {

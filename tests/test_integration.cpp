@@ -24,7 +24,7 @@ TEST(Integration, SameSeedSameMeasurement) {
   const auto b = run();
   EXPECT_DOUBLE_EQ(a.jitter.peak_to_peak.ps(), b.jitter.peak_to_peak.ps());
   EXPECT_DOUBLE_EQ(a.jitter.rms.ps(), b.jitter.rms.ps());
-  EXPECT_DOUBLE_EQ(a.eye_opening_ui, b.eye_opening_ui);
+  EXPECT_DOUBLE_EQ(a.eye_opening.ui(), b.eye_opening.ui());
 }
 
 TEST(Integration, DifferentSeedsSimilarStatistics) {
@@ -69,10 +69,10 @@ TEST(Integration, TestbedAndMinitesterShareTheArchitecture) {
   mini.start();
   const auto mini_eye = mini.measure_loopback_eye(8000);
 
-  EXPECT_GT(testbed_eye.eye_opening_ui, 0.8);   // 2.5 Gbps channel
-  EXPECT_GT(mini_eye.eye_opening_ui, 0.6);      // 5.0 Gbps through the DUT
+  EXPECT_GT(testbed_eye.eye_opening.ui(), 0.8);   // 2.5 Gbps channel
+  EXPECT_GT(mini_eye.eye_opening.ui(), 0.6);      // 5.0 Gbps through the DUT
   // The faster channel pays proportionally more of its UI to jitter.
-  EXPECT_GT(testbed_eye.eye_opening_ui, mini_eye.eye_opening_ui);
+  EXPECT_GT(testbed_eye.eye_opening.ui(), mini_eye.eye_opening.ui());
 }
 
 TEST(Integration, TestbedPacketsSurviveFabricContention) {

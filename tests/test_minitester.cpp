@@ -198,8 +198,8 @@ TEST(MiniTester, Fig19LoopbackEyeAt5G) {
   const auto eye = tester.measure_loopback_eye(12000);
   // Through the DUT leads the eye is a touch smaller than the bare Fig 19
   // output (0.75 UI) but must remain clearly open.
-  EXPECT_GT(eye.eye_opening_ui, 0.6);
-  EXPECT_LT(eye.eye_opening_ui, 0.85);
+  EXPECT_GT(eye.eye_opening.ui(), 0.6);
+  EXPECT_LT(eye.eye_opening.ui(), 0.85);
 }
 
 TEST(MiniTester, StuckDutEyeThrows) {

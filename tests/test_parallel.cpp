@@ -76,7 +76,7 @@ void expect_eyes_equal_except_rails(const ana::EyeDiagram& a,
   EXPECT_EQ(ma.jitter.count, mb.jitter.count);
   EXPECT_EQ(ma.jitter.peak_to_peak.ps(), mb.jitter.peak_to_peak.ps());
   EXPECT_EQ(ma.jitter.rms.ps(), mb.jitter.rms.ps());
-  EXPECT_EQ(ma.eye_opening_ui, mb.eye_opening_ui);
+  EXPECT_EQ(ma.eye_opening.ui(), mb.eye_opening.ui());
   EXPECT_EQ(ma.eye_height.mv(), mb.eye_height.mv());
 }
 
@@ -460,7 +460,7 @@ TEST(GoldenPin, Fig7EyeAt2G5) {
   sys.start();
   const auto metrics = sys.measure_eye(20000);
   EXPECT_NEAR(metrics.jitter.peak_to_peak.ps(), 46.7, 6.0);
-  EXPECT_NEAR(metrics.eye_opening_ui, 0.88, 0.03);
+  EXPECT_NEAR(metrics.eye_opening.ui(), 0.88, 0.03);
   EXPECT_GT(metrics.eye_height.mv(), 0.0);
 }
 
@@ -481,7 +481,7 @@ TEST(GoldenPin, Fig19MinitesterEyeAt5G0) {
   sys.start();
   const auto metrics = sys.measure_eye(20000);
   EXPECT_NEAR(metrics.jitter.peak_to_peak.ps(), 50.0, 7.0);
-  EXPECT_NEAR(metrics.eye_opening_ui, 0.75, 0.03);
+  EXPECT_NEAR(metrics.eye_opening.ui(), 0.75, 0.03);
 }
 
 TEST(GoldenPin, AmplitudeRailsAtLvpeclDefaults) {

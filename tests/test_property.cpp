@@ -109,7 +109,7 @@ TEST_P(EyeIdentity, OpeningEqualsOneMinusTjOverUi) {
   sig::render(edges, chain, render_config, Picoseconds{800.0},
               Picoseconds{5999.0 * 400.0}, {&eye});
   const auto metrics = eye.metrics();
-  EXPECT_NEAR(metrics.eye_opening_ui, 1.0 - dj / 400.0, 0.02) << "DJ " << dj;
+  EXPECT_NEAR(metrics.eye_opening.ui(), 1.0 - dj / 400.0, 0.02) << "DJ " << dj;
 }
 
 INSTANTIATE_TEST_SUITE_P(DjSweep, EyeIdentity,

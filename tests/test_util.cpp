@@ -57,6 +57,108 @@ TEST(Units, CompoundAssignment) {
   EXPECT_DOUBLE_EQ(t.ps(), 250.0);
 }
 
+TEST(Units, NegationAndScalarOrdering) {
+  EXPECT_DOUBLE_EQ((-Picoseconds{40.0}).ps(), -40.0);
+  EXPECT_DOUBLE_EQ((2.0 * Picoseconds{40.0}).ps(), 80.0);
+  EXPECT_EQ(Picoseconds{40.0}, Picoseconds{40.0});
+  EXPECT_GT(Picoseconds{40.0}, -Picoseconds{40.0});
+  EXPECT_LE(Millivolts{0.0}, Millivolts{0.0});
+}
+
+TEST(Units, RatioEdgeCases) {
+  // Ratio of like quantities is dimensionless, including the signed and
+  // infinite cases a bathtub fit can produce.
+  EXPECT_DOUBLE_EQ(Picoseconds{-200.0} / Picoseconds{400.0}, -0.5);
+  EXPECT_DOUBLE_EQ(Picoseconds{0.0} / Picoseconds{400.0}, 0.0);
+  EXPECT_TRUE(std::isinf(Picoseconds{1.0} / Picoseconds{0.0}));
+  EXPECT_TRUE(std::isnan(Picoseconds{0.0} / Picoseconds{0.0}));
+}
+
+TEST(Units, PeriodAndUnitIntervalRoundTrips) {
+  // f -> period -> f and rate -> UI -> rate are exact inverses.
+  const Gigahertz f{1.25};
+  EXPECT_DOUBLE_EQ(1e3 / f.period().ps(), f.ghz());
+  const GbitsPerSec rate{5.0};
+  EXPECT_DOUBLE_EQ(GbitsPerSec::from_ui(rate.unit_interval()).gbps(),
+                   rate.gbps());
+}
+
+TEST(Units, UnitIntervalsScaleToAbsoluteTime) {
+  const UnitIntervals opening{0.88};
+  EXPECT_DOUBLE_EQ(opening.ui(), 0.88);
+  EXPECT_DOUBLE_EQ(opening.at(Picoseconds{400.0}).ps(), 352.0);
+  EXPECT_LT(UnitIntervals{0.5}, UnitIntervals{0.88});
+}
+
+TEST(Units, SlewRateDimensionalAnalysis) {
+  const MvPerPs slope = Millivolts{800.0} / Picoseconds{120.0};
+  EXPECT_NEAR(slope.mv_per_ps(), 6.6667, 1e-3);
+  // slope * dt recovers the voltage change, in either operand order.
+  EXPECT_NEAR((slope * Picoseconds{120.0}).mv(), 800.0, 1e-9);
+  EXPECT_NEAR((Picoseconds{60.0} * slope).mv(), 400.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- error --
+
+TEST(Error, CheckWithMessagePassesSilently) {
+  EXPECT_NO_THROW(MGT_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(MGT_CHECK(true, "never shown"));
+}
+
+TEST(Error, CheckFailureNamesConditionAndLocation) {
+  const int lanes = 0;
+  try {
+    MGT_CHECK(lanes > 0);  // this line number appears in the message
+    FAIL() << "MGT_CHECK did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lanes > 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("check failed"), std::string::npos) << what;
+    // file:line formatting with a plausible line number.
+    EXPECT_NE(what.find(":"), std::string::npos) << what;
+  }
+}
+
+TEST(Error, CheckCarriesOptionalMessageViaVaOpt) {
+  // The __VA_OPT__ branch: a second argument lands in parentheses.
+  try {
+    MGT_CHECK(2 + 2 == 5, "arithmetic is broken");
+    FAIL() << "MGT_CHECK did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("(arithmetic is broken)"), std::string::npos) << what;
+  }
+  // And without one, no empty parentheses are appended.
+  try {
+    MGT_CHECK(false);
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).find("()"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckLineNumberMatchesCallSite) {
+  const std::size_t expected_line = __LINE__ + 2;  // the MGT_CHECK below
+  try {
+    MGT_CHECK(false);
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":" + std::to_string(expected_line) + ":"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(Error, ErrorIsARuntimeError) {
+  // Callers may catch std::exception; the message must survive the slice.
+  try {
+    throw Error("bring-up failed");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "bring-up failed");
+  }
+}
+
 // ------------------------------------------------------------------ rng --
 
 TEST(Rng, DeterministicForSameSeed) {

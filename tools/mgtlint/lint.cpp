@@ -1,0 +1,643 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mgtlint {
+
+namespace {
+
+// ------------------------------------------------------------------ lexer --
+
+enum class TokKind { kIdent, kNumber, kPunct, kString };
+
+struct Token {
+  TokKind kind;
+  std::string_view text;
+  std::size_t line;
+  std::size_t column;
+};
+
+/// Lexer output: tokens plus the per-line suppression table built from
+/// `// mgtlint:allow(rule-a, rule-b)` comments. An allow comment suppresses
+/// matching findings on its own line and on the following line, so it works
+/// both trailing the offending code and on the line above it.
+struct LexResult {
+  std::vector<Token> tokens;
+  std::map<std::size_t, std::set<std::string>> allow;  // line -> rule ids
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Registers the rules named in an allow directive found in `comment`.
+void parse_allow(std::string_view comment, std::size_t line, LexResult& out) {
+  const std::string_view tag = "mgtlint:allow(";
+  const auto pos = comment.find(tag);
+  if (pos == std::string_view::npos) {
+    return;
+  }
+  const auto open = pos + tag.size();
+  const auto close = comment.find(')', open);
+  if (close == std::string_view::npos) {
+    return;
+  }
+  std::string_view list = comment.substr(open, close - open);
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    std::string_view item = list.substr(0, comma);
+    while (!item.empty() && std::isspace(static_cast<unsigned char>(item.front()))) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() && std::isspace(static_cast<unsigned char>(item.back()))) {
+      item.remove_suffix(1);
+    }
+    if (!item.empty()) {
+      out.allow[line].insert(std::string(item));
+      out.allow[line + 1].insert(std::string(item));
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    list.remove_prefix(comma + 1);
+  }
+}
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+  bool at_line_start = true;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+        at_line_start = true;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Preprocessor: swallow #include/#pragma lines whole (their operands
+    // are paths/pragmas, not code); other directives lex normally so
+    // #define bodies stay checked.
+    if (c == '#' && at_line_start) {
+      std::size_t j = i + 1;
+      while (j < src.size() && std::isspace(static_cast<unsigned char>(src[j])) &&
+             src[j] != '\n') {
+        ++j;
+      }
+      std::size_t k = j;
+      while (k < src.size() && ident_char(src[k])) {
+        ++k;
+      }
+      const std::string_view kw = src.substr(j, k - j);
+      if (kw == "include" || kw == "pragma") {
+        while (i < src.size() && src[i] != '\n') {
+          advance(1);
+        }
+        continue;
+      }
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 1), line, col});
+      advance(1);
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    // Comments (and allow directives).
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const std::size_t start = i;
+      const std::size_t start_line = line;
+      while (i < src.size() && src[i] != '\n') {
+        advance(1);
+      }
+      parse_allow(src.substr(start, i - start), start_line, out);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const std::size_t start_line = line;
+      advance(2);
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        advance(1);
+      }
+      advance(2);
+      parse_allow(src.substr(start, i - start), start_line, out);
+      continue;
+    }
+    // Raw strings: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      while (j < src.size() && src[j] != '(' && src[j] != '"' &&
+             src[j] != '\n') {
+        ++j;
+      }
+      if (j < src.size() && src[j] == '(') {
+        const std::string close =
+            ")" + std::string(src.substr(i + 2, j - (i + 2))) + "\"";
+        const auto end = src.find(close, j + 1);
+        const std::size_t stop =
+            end == std::string_view::npos ? src.size() : end + close.size();
+        out.tokens.push_back(
+            {TokKind::kString, src.substr(i, stop - i), line, col});
+        advance(stop - i);
+        continue;
+      }
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = i;
+      const std::size_t start_line = line;
+      const std::size_t start_col = col;
+      advance(1);
+      while (i < src.size() && src[i] != quote) {
+        advance(src[i] == '\\' ? 2 : 1);
+      }
+      advance(1);
+      out.tokens.push_back({TokKind::kString, src.substr(start, i - start),
+                            start_line, start_col});
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      const std::size_t start_col = col;
+      while (i < src.size() && ident_char(src[i])) {
+        advance(1);
+      }
+      out.tokens.push_back({TokKind::kIdent, src.substr(start, i - start),
+                            line, start_col});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      const std::size_t start_col = col;
+      while (i < src.size() &&
+             (ident_char(src[i]) || src[i] == '.' ||
+              ((src[i] == '+' || src[i] == '-') && i > start &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+        advance(1);
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(start, i - start),
+                            line, start_col});
+      continue;
+    }
+    // Multi-char punctuation we care about: -> and ::.
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line, col});
+      advance(2);
+      continue;
+    }
+    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
+      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line, col});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, src.substr(i, 1), line, col});
+    advance(1);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- rule logic --
+
+bool has_unit_suffix(std::string_view name) {
+  for (const std::string_view s :
+       {"_ps", "_mv", "_gbps", "_ghz", "_ui"}) {
+    if (name.size() > s.size() && name.ends_with(s)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_header(FileKind k) {
+  return k == FileKind::kSourceHeader || k == FileKind::kOtherHeader;
+}
+
+bool in_src(FileKind k) {
+  return k == FileKind::kSourceHeader || k == FileKind::kSourceImpl;
+}
+
+class Linter {
+public:
+  Linter(std::string_view path, std::string_view content, FileKind kind)
+      : path_(path), kind_(kind), lexed_(lex(content)) {}
+
+  std::vector<Diagnostic> run() {
+    collect_unordered_names();
+    const auto& toks = lexed_.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      check_determinism(i);
+      check_units(i);
+      check_contracts(i);
+      track_classes(i);
+    }
+    return std::move(diags_);
+  }
+
+private:
+  const Token& tok(std::size_t i) const { return lexed_.tokens[i]; }
+  std::size_t size() const { return lexed_.tokens.size(); }
+
+  bool next_is(std::size_t i, std::string_view text) const {
+    return i + 1 < size() && tok(i + 1).text == text;
+  }
+  bool prev_is(std::size_t i, std::string_view text) const {
+    return i > 0 && tok(i - 1).text == text;
+  }
+  bool member_access_before(std::size_t i) const {
+    return prev_is(i, ".") || prev_is(i, "->");
+  }
+
+  void report(std::size_t i, std::string_view rule, std::string message) {
+    const Token& t = tok(i);
+    const auto it = lexed_.allow.find(t.line);
+    if (it != lexed_.allow.end() && it->second.count(std::string(rule))) {
+      return;
+    }
+    diags_.push_back({std::string(path_), t.line, t.column, std::string(rule),
+                      std::move(message)});
+  }
+
+  // --- determinism ---
+
+  void check_determinism(std::size_t i) {
+    const Token& t = tok(i);
+    if (t.kind != TokKind::kIdent) {
+      return;
+    }
+    if (t.text == "random_device") {
+      report(i, rules::kRandomDevice,
+             "std::random_device is non-deterministic; seed an mgt::Rng "
+             "explicitly");
+    }
+    if ((t.text == "rand" || t.text == "srand") && next_is(i, "(") &&
+        !member_access_before(i)) {
+      report(i, rules::kRand,
+             std::string(t.text) +
+                 "() uses hidden global state; use mgt::Rng streams");
+    }
+    if (kind_ != FileKind::kBenchFile) {
+      if (t.text == "time" && next_is(i, "(") && !member_access_before(i)) {
+        report(i, rules::kTime,
+               "time() reads the wall clock; results must not depend on it "
+               "outside bench/");
+      }
+      if (t.text == "system_clock" || t.text == "steady_clock") {
+        report(i, rules::kWallClock,
+               "std::chrono::" + std::string(t.text) +
+                   " is wall-clock state; only bench/ may time itself");
+      }
+    }
+    // Range-for (or explicit .begin()) over an unordered container declared
+    // in this file: iteration order is unspecified, which silently breaks
+    // ordered reductions.
+    if (unordered_names_.count(std::string(t.text)) != 0U) {
+      const bool range_for = prev_is(i, ":");
+      const bool begin_call =
+          next_is(i, ".") && i + 2 < size() &&
+          (tok(i + 2).text == "begin" || tok(i + 2).text == "cbegin");
+      if (range_for || begin_call) {
+        report(i, rules::kUnorderedIter,
+               "iterating unordered container '" + std::string(t.text) +
+                   "' has unspecified order; use a sorted/ordered container "
+                   "in reduction paths");
+      }
+    }
+  }
+
+  // --- unit safety ---
+
+  void check_units(std::size_t i) {
+    const Token& t = tok(i);
+    if (t.kind != TokKind::kIdent) {
+      return;
+    }
+    if (t.text == "float" && in_src(kind_)) {
+      report(i, rules::kFloat,
+             "float narrows ps-resolution math; use double or a strong unit "
+             "type");
+      return;  // also suppresses a duplicate unit-suffix hit below
+    }
+    if ((t.text == "double" || t.text == "float") &&
+        kind_ == FileKind::kSourceHeader) {
+      // Skip cv/ref/pointer decoration between the type and the name.
+      std::size_t j = i + 1;
+      while (j < size() && (tok(j).text == "const" || tok(j).text == "*" ||
+                            tok(j).text == "&")) {
+        ++j;
+      }
+      if (j < size() && tok(j).kind == TokKind::kIdent &&
+          has_unit_suffix(tok(j).text) && !next_is(j, "(")) {
+        report(j, rules::kUnitDouble,
+               "raw " + std::string(t.text) + " '" + std::string(tok(j).text) +
+                   "' carries a unit suffix; use the strong type from "
+                   "util/units.hpp");
+      }
+    }
+  }
+
+  // --- contract hygiene ---
+
+  void check_contracts(std::size_t i) {
+    const Token& t = tok(i);
+    if (t.kind != TokKind::kIdent) {
+      return;
+    }
+    if (t.text == "assert" && next_is(i, "(") && !member_access_before(i) &&
+        !prev_is(i, "::")) {
+      report(i, rules::kAssert,
+             "assert() compiles out under NDEBUG; use MGT_CHECK so contracts "
+             "hold in every build");
+    }
+    if (t.text == "using" && next_is(i, "namespace") && is_header(kind_)) {
+      report(i, rules::kUsingNamespace,
+             "'using namespace' in a header pollutes every includer");
+    }
+    if (!class_stack_.empty() && t.text == class_stack_.back().name &&
+        next_is(i, "(") && brace_depth_ == class_stack_.back().member_depth) {
+      check_ctor(i);
+    }
+  }
+
+  /// Candidate constructor at member level: flag single-argument-callable
+  /// ctors that are not marked explicit (copy/move/self excluded).
+  void check_ctor(std::size_t i) {
+    // Reject destructors, qualified names, and member-init-list delegation
+    // (`: Name(...)` — unless the `:` is an access specifier's).
+    if (prev_is(i, "~") || prev_is(i, "::")) {
+      return;
+    }
+    if (prev_is(i, ":") && i >= 2 && tok(i - 2).text != "public" &&
+        tok(i - 2).text != "protected" && tok(i - 2).text != "private") {
+      return;
+    }
+    if (prev_is(i, ",")) {
+      return;  // second entry of a member-init list
+    }
+    // Look back for `explicit` (possibly through constexpr/inline).
+    std::size_t back = i;
+    while (back > 0) {
+      const std::string_view p = tok(back - 1).text;
+      if (p == "constexpr" || p == "inline") {
+        --back;
+        continue;
+      }
+      if (p == "explicit") {
+        return;  // already explicit
+      }
+      break;
+    }
+    // Parse the parameter list.
+    std::size_t j = i + 1;  // at '('
+    int depth = 0;
+    std::vector<std::vector<std::size_t>> params;
+    std::vector<std::size_t> current;
+    for (; j < size(); ++j) {
+      const std::string_view x = tok(j).text;
+      if (x == "(" || x == "[" || x == "{" || x == "<") {
+        ++depth;
+        if (depth == 1) {
+          continue;
+        }
+      } else if (x == ")" || x == "]" || x == "}" || x == ">") {
+        --depth;
+        if (depth == 0) {
+          break;
+        }
+      } else if (x == "," && depth == 1) {
+        params.push_back(current);
+        current.clear();
+        continue;
+      }
+      if (depth >= 1) {
+        current.push_back(j);
+      }
+    }
+    if (!current.empty()) {
+      params.push_back(current);
+    }
+    if (params.empty()) {
+      return;  // default ctor
+    }
+    // Callable with one argument: one param, or trailing params defaulted.
+    bool one_arg = params.size() == 1;
+    if (!one_arg) {
+      one_arg = true;
+      for (std::size_t p = 1; p < params.size(); ++p) {
+        bool has_default = false;
+        for (const std::size_t ti : params[p]) {
+          if (tok(ti).text == "=") {
+            has_default = true;
+            break;
+          }
+        }
+        if (!has_default) {
+          one_arg = false;
+          break;
+        }
+      }
+    }
+    if (!one_arg) {
+      return;
+    }
+    // Copy/move/self-converting ctors are fine.
+    for (const std::size_t ti : params[0]) {
+      if (tok(ti).text == class_stack_.back().name) {
+        return;
+      }
+    }
+    report(i, rules::kExplicitCtor,
+           "single-argument constructor of '" + class_stack_.back().name +
+               "' should be explicit (implicit conversions hide unit "
+               "mistakes)");
+  }
+
+  // --- class tracking for explicit-ctor ---
+
+  void track_classes(std::size_t i) {
+    const Token& t = tok(i);
+    if (t.text == "{") {
+      ++brace_depth_;
+      if (pending_class_ && pending_class_depth_ == 0) {
+        class_stack_.push_back({pending_class_name_, brace_depth_});
+        pending_class_ = false;
+      }
+      return;
+    }
+    if (t.text == "}") {
+      if (!class_stack_.empty() &&
+          brace_depth_ == class_stack_.back().member_depth) {
+        class_stack_.pop_back();
+      }
+      --brace_depth_;
+      return;
+    }
+    if (pending_class_) {
+      // Between `class Name` and its `{`: a `;` means forward declaration;
+      // track <> nesting in base-clause templates.
+      if (t.text == ";" && pending_class_depth_ == 0) {
+        pending_class_ = false;
+      } else if (t.text == "<") {
+        ++pending_class_depth_;
+      } else if (t.text == ">") {
+        --pending_class_depth_;
+      }
+      return;
+    }
+    if ((t.text == "class" || t.text == "struct") && i + 1 < size() &&
+        tok(i + 1).kind == TokKind::kIdent && !prev_is(i, "enum")) {
+      // The class name is the last identifier before `{`, `;` or `:` —
+      // skips attribute/export macros between the keyword and the name.
+      std::size_t j = i + 1;
+      std::string name;
+      while (j < size() && tok(j).kind == TokKind::kIdent) {
+        name = std::string(tok(j).text);
+        ++j;
+      }
+      if (j < size() && (tok(j).text == "{" || tok(j).text == ":" ||
+                         tok(j).text == "final")) {
+        pending_class_ = true;
+        pending_class_name_ = name;
+        pending_class_depth_ = 0;
+      }
+    }
+  }
+
+  /// Names of variables declared with an unordered container type anywhere
+  /// in this translation unit.
+  void collect_unordered_names() {
+    const auto& toks = lexed_.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          !toks[i].text.starts_with("unordered_")) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "<") {
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].text == "<") {
+            ++depth;
+          } else if (toks[j].text == ">") {
+            if (--depth == 0) {
+              ++j;
+              break;
+            }
+          }
+        }
+      }
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "*" ||
+              toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          !(j + 1 < toks.size() && toks[j + 1].text == "(")) {
+        unordered_names_.insert(std::string(toks[j].text));
+      }
+    }
+  }
+
+  struct ClassScope {
+    std::string name;
+    int member_depth;  // brace depth at which members appear
+  };
+
+  std::string_view path_;
+  FileKind kind_;
+  LexResult lexed_;
+  std::vector<Diagnostic> diags_;
+  std::set<std::string> unordered_names_;
+  std::vector<ClassScope> class_stack_;
+  bool pending_class_ = false;
+  std::string pending_class_name_;
+  int pending_class_depth_ = 0;
+  int brace_depth_ = 0;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- public API --
+
+FileKind classify_path(std::string_view path) {
+  const bool header = path.ends_with(".hpp") || path.ends_with(".h");
+  auto in_dir = [&](std::string_view dir) {
+    return path.find(std::string(dir) + "/") != std::string_view::npos ||
+           path.starts_with(dir);
+  };
+  if (in_dir("bench")) {
+    return FileKind::kBenchFile;
+  }
+  if (in_dir("tests")) {
+    return FileKind::kTestFile;
+  }
+  if (in_dir("examples")) {
+    return FileKind::kExampleFile;
+  }
+  if (in_dir("tools")) {
+    return FileKind::kToolFile;
+  }
+  if (in_dir("src")) {
+    return header ? FileKind::kSourceHeader : FileKind::kSourceImpl;
+  }
+  return header ? FileKind::kOtherHeader : FileKind::kOtherImpl;
+}
+
+const std::vector<std::string_view>& all_rules() {
+  static const std::vector<std::string_view> kRules = {
+      rules::kRandomDevice,   rules::kRand,      rules::kTime,
+      rules::kWallClock,      rules::kUnorderedIter,
+      rules::kUnitDouble,     rules::kFloat,     rules::kAssert,
+      rules::kUsingNamespace, rules::kExplicitCtor,
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> lint_source(std::string_view path,
+                                    std::string_view content, FileKind kind) {
+  return Linter(path, content, kind).run();
+}
+
+std::vector<Diagnostic> lint_source(std::string_view path,
+                                    std::string_view content) {
+  return lint_source(path, content, classify_path(path));
+}
+
+std::vector<Diagnostic> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, 0, "io-error", "cannot open file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  return lint_source(path, content);
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ":" +
+         std::to_string(d.column) + ": [" + d.rule + "] " + d.message;
+}
+
+}  // namespace mgtlint

@@ -1,0 +1,76 @@
+// mgtlint: repo-specific static analysis for the mgt reproduction.
+//
+// A fast token-level checker (no libclang) enforcing the three invariant
+// families every ps-resolution result in this repo depends on:
+//
+//   determinism      - no wall-clock seeding or ambient randomness
+//   unit safety      - no raw double/float carrying a unit-suffixed name
+//   contract hygiene - MGT_CHECK over assert, explicit ctors, clean headers
+//
+// The library half (this header) lints in-memory buffers so the rules are
+// unit-testable; main.cpp wraps it in a directory walker.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgtlint {
+
+/// Where a file sits in the repo; controls which rules apply.
+enum class FileKind {
+  kSourceHeader,  // .hpp under src/ (public API surface)
+  kSourceImpl,    // .cpp under src/
+  kTestFile,      // tests/
+  kBenchFile,     // bench/ (wall-clock timing of benchmarks is allowed)
+  kExampleFile,   // examples/
+  kToolFile,      // tools/
+  kOtherHeader,   // any other .hpp/.h
+  kOtherImpl,     // any other .cpp
+};
+
+/// Classifies a path by its repo-relative location and extension.
+FileKind classify_path(std::string_view path);
+
+/// One finding. `rule` is the stable kebab-case id usable in
+/// `// mgtlint:allow(<rule>)` suppressions.
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t column = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Stable rule ids (see docs/README for the catalog).
+namespace rules {
+inline constexpr std::string_view kRandomDevice = "no-random-device";
+inline constexpr std::string_view kRand = "no-rand";
+inline constexpr std::string_view kTime = "no-time";
+inline constexpr std::string_view kWallClock = "no-wall-clock";
+inline constexpr std::string_view kUnorderedIter = "no-unordered-iter";
+inline constexpr std::string_view kUnitDouble = "unit-suffix-double";
+inline constexpr std::string_view kFloat = "no-float";
+inline constexpr std::string_view kAssert = "no-assert";
+inline constexpr std::string_view kUsingNamespace = "no-using-namespace-header";
+inline constexpr std::string_view kExplicitCtor = "explicit-ctor";
+}  // namespace rules
+
+/// All rule ids, for --list-rules and the fixture suite.
+const std::vector<std::string_view>& all_rules();
+
+/// Lints one in-memory buffer. `path` is used for classification (unless
+/// `kind_override` >= 0) and for the diagnostics' file field.
+std::vector<Diagnostic> lint_source(std::string_view path,
+                                    std::string_view content);
+std::vector<Diagnostic> lint_source(std::string_view path,
+                                    std::string_view content, FileKind kind);
+
+/// Reads and lints a file on disk. Missing/unreadable files produce a
+/// single diagnostic with rule "io-error".
+std::vector<Diagnostic> lint_file(const std::string& path);
+
+/// Formats a diagnostic as "file:line:col: [rule] message".
+std::string format_diagnostic(const Diagnostic& d);
+
+}  // namespace mgtlint

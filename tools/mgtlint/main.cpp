@@ -1,0 +1,81 @@
+// mgtlint CLI: walks the given files/directories, lints every .cpp/.hpp/.h,
+// prints findings as `file:line:col: [rule] message`, and exits non-zero
+// when anything fired. Usage:
+//
+//   mgtlint [--list-rules] [--quiet] <file-or-dir>...
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+void collect(const fs::path& root, std::vector<std::string>& files) {
+  if (fs::is_directory(root)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path().generic_string());
+      }
+    }
+  } else {
+    files.push_back(root.generic_string());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  bool quiet = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--list-rules") {
+      for (const auto rule : mgtlint::all_rules()) {
+        std::printf("%.*s\n", static_cast<int>(rule.size()), rule.data());
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mgtlint [--list-rules] [--quiet] <file-or-dir>...\n");
+      return 0;
+    }
+    if (!fs::exists(arg)) {
+      std::fprintf(stderr, "mgtlint: no such path: %s\n", arg.c_str());
+      return 2;
+    }
+    collect(arg, files);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "mgtlint: no input files (see --help)\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  for (const auto& file : files) {
+    for (const auto& diag : mgtlint::lint_file(file)) {
+      ++findings;
+      const std::string text = mgtlint::format_diagnostic(diag);
+      std::printf("%s\n", text.c_str());
+    }
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "mgtlint: %zu file(s), %zu finding(s)\n",
+                 files.size(), findings);
+  }
+  return findings == 0 ? 0 : 1;
+}

@@ -1,0 +1,392 @@
+// Fixture suite for mgtlint: every rule gets at least one known-bad snippet
+// (must fire) and one allowlisted snippet (must stay silent), plus lexer and
+// scoping edge cases. The snippets live in raw strings, which the lexer
+// skips — so this file itself lints clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using mgtlint::Diagnostic;
+using mgtlint::FileKind;
+using mgtlint::lint_source;
+
+std::vector<std::string> fired_rules(std::string_view path,
+                                     std::string_view code) {
+  std::vector<std::string> rules;
+  for (const auto& d : lint_source(path, code)) {
+    rules.push_back(d.rule);
+  }
+  return rules;
+}
+
+bool fires(std::string_view path, std::string_view code,
+           std::string_view rule) {
+  const auto rules = fired_rules(path, code);
+  return std::find(rules.begin(), rules.end(), std::string(rule)) !=
+         rules.end();
+}
+
+// ------------------------------------------------------------ determinism --
+
+TEST(MgtlintDeterminism, RandomDeviceBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    #include <random>
+    int seed() { std::random_device rd; return (int)rd(); }
+  )",
+                    "no-random-device"));
+}
+
+TEST(MgtlintDeterminism, RandomDeviceAllowlisted) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    int seed() {
+      std::random_device rd;  // mgtlint:allow(no-random-device)
+      return (int)rd();
+    }
+  )",
+                     "no-random-device"));
+}
+
+TEST(MgtlintDeterminism, AllowOnPreviousLine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    // mgtlint:allow(no-random-device)
+    std::random_device rd;
+  )",
+                     "no-random-device"));
+}
+
+TEST(MgtlintDeterminism, RandAndSrandBad) {
+  const char* code = R"(
+    int roll() { srand(7); return rand(); }
+  )";
+  EXPECT_TRUE(fires("src/a.cpp", code, "no-rand"));
+  const auto rules = fired_rules("src/a.cpp", code);
+  EXPECT_EQ(std::count(rules.begin(), rules.end(), "no-rand"), 2);
+}
+
+TEST(MgtlintDeterminism, RandAllowlistedAndMembersExempt) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    int roll(Rng& rng) { return (int)rng.rand(); }
+    int legacy() { return rand(); }  // mgtlint:allow(no-rand)
+  )",
+                     "no-rand"));
+}
+
+TEST(MgtlintDeterminism, RandomizeIdentifierNotConfusedWithRand) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void randomize_codes(int n);
+    int strand(int x) { return x; }
+  )",
+                     "no-rand"));
+}
+
+TEST(MgtlintDeterminism, TimeBadOutsideBench) {
+  EXPECT_TRUE(fires("src/a.cpp", "long now() { return time(nullptr); }",
+                    "no-time"));
+  EXPECT_TRUE(fires("tests/t.cpp", "long now() { return time(nullptr); }",
+                    "no-time"));
+}
+
+TEST(MgtlintDeterminism, TimeAllowedInBenchAndAsMember) {
+  EXPECT_FALSE(fires("bench/b.cpp", "long now() { return time(nullptr); }",
+                     "no-time"));
+  EXPECT_FALSE(fires("src/a.cpp", "auto t = sim.time();", "no-time"));
+  EXPECT_FALSE(fires("src/a.cpp",
+                     "double rise_time(int code); auto x = rise_time(3);",
+                     "no-time"));
+}
+
+TEST(MgtlintDeterminism, TimeAllowlisted) {
+  EXPECT_FALSE(fires("src/a.cpp",
+                     "long now() { return time(nullptr); }  "
+                     "// mgtlint:allow(no-time)",
+                     "no-time"));
+}
+
+TEST(MgtlintDeterminism, WallClockBadOutsideBench) {
+  EXPECT_TRUE(fires("src/a.cpp",
+                    "auto t = std::chrono::steady_clock::now();",
+                    "no-wall-clock"));
+  EXPECT_TRUE(fires("examples/e.cpp",
+                    "auto t = std::chrono::system_clock::now();",
+                    "no-wall-clock"));
+}
+
+TEST(MgtlintDeterminism, WallClockAllowedInBenchAndAllowlisted) {
+  EXPECT_FALSE(fires("bench/b.cpp",
+                     "auto t = std::chrono::steady_clock::now();",
+                     "no-wall-clock"));
+  EXPECT_FALSE(fires("src/a.cpp",
+                     "auto t = std::chrono::steady_clock::now();  "
+                     "// mgtlint:allow(no-wall-clock)",
+                     "no-wall-clock"));
+}
+
+TEST(MgtlintDeterminism, UnorderedIterationBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    #include <unordered_map>
+    double total(const std::unordered_map<int, double>& weights) {
+      double sum = 0.0;
+      for (const auto& kv : weights) { sum += kv.second; }
+      return sum;
+    }
+  )",
+                    "no-unordered-iter"));
+}
+
+TEST(MgtlintDeterminism, UnorderedBeginCallBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    std::unordered_set<int> pool;
+    auto it = pool.begin();
+  )",
+                    "no-unordered-iter"));
+}
+
+TEST(MgtlintDeterminism, UnorderedIterationAllowlistedAndLookupFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    std::unordered_map<int, double> weights;
+    double w = weights.at(3);          // keyed lookup: order-independent
+    // mgtlint:allow(no-unordered-iter)
+    for (const auto& kv : weights) { use(kv); }
+  )",
+                     "no-unordered-iter"));
+}
+
+TEST(MgtlintDeterminism, OrderedContainerIterationFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    std::map<int, double> weights;
+    for (const auto& kv : weights) { use(kv); }
+  )",
+                     "no-unordered-iter"));
+}
+
+// ------------------------------------------------------------ unit safety --
+
+TEST(MgtlintUnits, RawDoubleParameterBad) {
+  EXPECT_TRUE(fires("src/pecl/x.hpp", "void set_delay(double delay_ps);",
+                    "unit-suffix-double"));
+  EXPECT_TRUE(fires("src/signal/x.hpp", "void drive(double swing_mv);",
+                    "unit-suffix-double"));
+  EXPECT_TRUE(fires("src/a.hpp", "struct S { double rate_gbps = 0.0; };",
+                    "unit-suffix-double"));
+  EXPECT_TRUE(fires("src/a.hpp", "struct S { double f_ghz; };",
+                    "unit-suffix-double"));
+  EXPECT_TRUE(fires("src/a.hpp", "struct S { double opening_ui; };",
+                    "unit-suffix-double"));
+}
+
+TEST(MgtlintUnits, RawDoubleAllowlisted) {
+  EXPECT_FALSE(fires("src/a.hpp",
+                     "void set_delay(double delay_ps);  "
+                     "// mgtlint:allow(unit-suffix-double)",
+                     "unit-suffix-double"));
+}
+
+TEST(MgtlintUnits, StrongTypesAndImplFilesFine) {
+  // Strong types carry the unit; the suffix rule only bites raw doubles.
+  EXPECT_FALSE(fires("src/a.hpp", "void set_delay(Picoseconds delay);",
+                     "unit-suffix-double"));
+  // Function *names* with a unit suffix document their return value.
+  EXPECT_FALSE(fires("src/a.hpp", "double worst_residual_ps() const;",
+                     "unit-suffix-double"));
+  // The rule covers the public API surface (headers), not .cpp internals.
+  EXPECT_FALSE(fires("src/a.cpp", "void set_delay(double delay_ps) {}",
+                     "unit-suffix-double"));
+}
+
+TEST(MgtlintUnits, FloatInSrcBad) {
+  EXPECT_TRUE(fires("src/a.cpp", "float gain = 1.0f;", "no-float"));
+  EXPECT_TRUE(fires("src/a.hpp", "float gain();", "no-float"));
+}
+
+TEST(MgtlintUnits, FloatAllowlistedAndOutsideSrcFine) {
+  EXPECT_FALSE(fires("src/a.cpp",
+                     "float gain = 1.0f;  // mgtlint:allow(no-float)",
+                     "no-float"));
+  EXPECT_FALSE(fires("bench/b.cpp", "float gain = 1.0f;", "no-float"));
+  // Words containing "float" are not the keyword.
+  EXPECT_FALSE(fires("src/a.cpp", "bool floating_output = false;",
+                     "no-float"));
+}
+
+// ------------------------------------------------------- contract hygiene --
+
+TEST(MgtlintContracts, AssertBad) {
+  EXPECT_TRUE(fires("src/a.cpp", "void f(int n) { assert(n > 0); }",
+                    "no-assert"));
+}
+
+TEST(MgtlintContracts, AssertAllowlistedAndRelativesFine) {
+  EXPECT_FALSE(fires("src/a.cpp",
+                     "void f(int n) { assert(n > 0); }  "
+                     "// mgtlint:allow(no-assert)",
+                     "no-assert"));
+  EXPECT_FALSE(fires("src/a.cpp", "static_assert(sizeof(int) == 4);",
+                     "no-assert"));
+  EXPECT_FALSE(fires("tests/t.cpp", "ASSERT_EQ(a, b); MGT_CHECK(a > 0);",
+                     "no-assert"));
+}
+
+TEST(MgtlintContracts, UsingNamespaceHeaderBad) {
+  EXPECT_TRUE(fires("src/a.hpp", "using namespace std;",
+                    "no-using-namespace-header"));
+}
+
+TEST(MgtlintContracts, UsingNamespaceCppFineAndAllowlisted) {
+  EXPECT_FALSE(fires("src/a.cpp", "using namespace mgt;",
+                     "no-using-namespace-header"));
+  EXPECT_FALSE(fires("src/a.hpp",
+                     "using namespace std;  "
+                     "// mgtlint:allow(no-using-namespace-header)",
+                     "no-using-namespace-header"));
+  EXPECT_FALSE(fires("src/a.hpp", "using mgt::Picoseconds;",
+                     "no-using-namespace-header"));
+}
+
+TEST(MgtlintContracts, NonExplicitSingleArgCtorBad) {
+  EXPECT_TRUE(fires("src/a.hpp", R"(
+    class Delay {
+    public:
+      Delay(double ps);
+    };
+  )",
+                    "explicit-ctor"));
+  // Trailing defaulted params still make it single-argument callable.
+  EXPECT_TRUE(fires("src/a.hpp", R"(
+    struct Delay {
+      Delay(double ps, int taps = 4);
+    };
+  )",
+                    "explicit-ctor"));
+}
+
+TEST(MgtlintContracts, ExplicitCtorAndSpecialMembersFine) {
+  EXPECT_FALSE(fires("src/a.hpp", R"(
+    class Delay {
+    public:
+      Delay() = default;
+      explicit Delay(double ps);
+      constexpr explicit Delay(int code);
+      Delay(const Delay& other) = default;
+      Delay(Delay&& other) = default;
+      Delay(double ps, int taps);
+      ~Delay();
+    private:
+      double ps_ = 0.0;
+    };
+  )",
+                     "explicit-ctor"));
+}
+
+TEST(MgtlintContracts, CtorAllowlisted) {
+  EXPECT_FALSE(fires("src/a.hpp", R"(
+    class Delay {
+    public:
+      Delay(double ps);  // mgtlint:allow(explicit-ctor)
+    };
+  )",
+                     "explicit-ctor"));
+}
+
+TEST(MgtlintContracts, MemberInitListDelegationNotFlagged) {
+  EXPECT_FALSE(fires("src/a.hpp", R"(
+    class Delay {
+    public:
+      explicit Delay(double ps) : ps_(ps) {}
+      Delay(int code, double step) : Delay(code * step) {}
+    private:
+      double ps_;
+    };
+  )",
+                     "explicit-ctor"));
+}
+
+TEST(MgtlintContracts, NestedClassTracking) {
+  EXPECT_TRUE(fires("src/a.hpp", R"(
+    class Outer {
+    public:
+      struct Config {
+        Config(int bins);
+      };
+      explicit Outer(Config c);
+    };
+  )",
+                    "explicit-ctor"));
+}
+
+// ------------------------------------------------------------------ lexer --
+
+TEST(MgtlintLexer, StringsCommentsAndIncludesAreSkipped) {
+  EXPECT_FALSE(fires("src/a.cpp", R"__(
+    #include <ctime>
+    const char* label = "guard time (each side)";
+    // calling time() here would be bad
+    /* std::random_device in prose */
+    char c = '"';
+  )__",
+                     "no-time"));
+  EXPECT_FALSE(fires("src/a.cpp", "const char* s = \"rand()\";", "no-rand"));
+  EXPECT_FALSE(fires("src/a.cpp",
+                     "const char* s = R\"(std::random_device)\";",
+                     "no-random-device"));
+}
+
+TEST(MgtlintLexer, AllowListsMultipleRules) {
+  EXPECT_TRUE(fired_rules("src/a.cpp",
+                          "// mgtlint:allow(no-rand, no-time)\n"
+                          "int x = rand() + (int)time(nullptr);")
+                  .empty());
+}
+
+TEST(MgtlintLexer, AllowOfOneRuleDoesNotSuppressAnother) {
+  EXPECT_TRUE(fires("src/a.cpp",
+                    "int x = rand();  // mgtlint:allow(no-time)", "no-rand"));
+}
+
+TEST(MgtlintLexer, DiagnosticPositionsAreOneBased) {
+  const auto diags = lint_source("src/a.cpp", "int x = rand();");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 1u);
+  EXPECT_EQ(diags[0].column, 9u);
+  EXPECT_EQ(mgtlint::format_diagnostic(diags[0]).substr(0, 14),
+            "src/a.cpp:1:9:");
+}
+
+// ------------------------------------------------------------------ misc --
+
+TEST(MgtlintMisc, ClassifyPath) {
+  EXPECT_EQ(mgtlint::classify_path("src/pecl/mux.hpp"),
+            FileKind::kSourceHeader);
+  EXPECT_EQ(mgtlint::classify_path("/root/repo/src/pecl/mux.cpp"),
+            FileKind::kSourceImpl);
+  EXPECT_EQ(mgtlint::classify_path("bench/bench_common.hpp"),
+            FileKind::kBenchFile);
+  EXPECT_EQ(mgtlint::classify_path("tests/test_core.cpp"),
+            FileKind::kTestFile);
+  EXPECT_EQ(mgtlint::classify_path("examples/quickstart.cpp"),
+            FileKind::kExampleFile);
+  EXPECT_EQ(mgtlint::classify_path("tools/mgtlint/lint.cpp"),
+            FileKind::kToolFile);
+}
+
+TEST(MgtlintMisc, AllRulesListsEveryRuleOnce) {
+  const auto& rules = mgtlint::all_rules();
+  EXPECT_EQ(rules.size(), 10u);
+  for (const auto rule : rules) {
+    EXPECT_EQ(std::count(rules.begin(), rules.end(), rule), 1)
+        << std::string(rule);
+  }
+}
+
+TEST(MgtlintMisc, MissingFileReportsIoError) {
+  const auto diags = mgtlint::lint_file("definitely/not/a/file.cpp");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "io-error");
+}
+
+}  // namespace
