@@ -1,0 +1,106 @@
+// Fault sweep: link BER versus injected fault severity.
+//
+// The robustness counterpart of the bathtub benches: walk the stuck-lane
+// fraction of the mini-tester serializer from healthy (0.0) to fully stuck
+// (1.0) and chart how the measured loopback BER degrades. The fault layer's
+// two contracts are benchmarked alongside: the sweep must be monotonic
+// (severity-selected lane sets are nested) and an EMPTY plan must add zero
+// cost to the healthy stimulus path.
+#include <vector>
+
+#include "analysis/faultsweep.hpp"
+#include "bench_common.hpp"
+#include "fault/fault.hpp"
+#include "minitester/minitester.hpp"
+#include "util/rng.hpp"
+
+using namespace mgt;
+
+namespace {
+
+minitester::MiniTester make_tester(double severity, bool with_plan) {
+  minitester::MiniTester::Config config;
+  if (with_plan) {
+    fault::FaultPlan plan(90);
+    plan.schedule({.kind = fault::FaultKind::kMuxStuckAt,
+                   .component = "serializer",
+                   .severity = severity,
+                   .stuck_high = true});
+    config.channel.faults = plan;
+  }
+  return minitester::MiniTester(config, 91);
+}
+
+ana::BerResult measure_at(double severity) {
+  auto tester = make_tester(severity, true);
+  tester.program_prbs(7, 0xACE1F00D);
+  tester.start();
+  return tester.run_loopback(2048);
+}
+
+void run_reproduction(ReportTable& table) {
+  const std::vector<double> severities{0.0, 0.125, 0.25, 0.5, 0.75, 1.0};
+  const auto sweep = ana::fault_sweep(severities, measure_at);
+
+  for (const auto& point : sweep) {
+    table.add_comparison(
+        "BER @ stuck-lane fraction " + fmt(point.severity, 2),
+        point.severity == 0.0 ? "0 (healthy floor)" : "grows with severity",
+        fmt(point.ber, 4) + " (" + std::to_string(point.errors) + "/" +
+            std::to_string(point.bits) + ")",
+        point.severity == 0.0 ? (point.errors == 0 ? "OK (error free)"
+                                                   : "DEVIATES")
+                              : "");
+  }
+  table.add_comparison(
+      "BER monotonic in severity", "nondecreasing",
+      ana::ber_monotonic_nondecreasing(sweep, 0.02) ? "nondecreasing"
+                                                    : "NON-MONOTONIC",
+      ana::ber_monotonic_nondecreasing(sweep, 0.02) ? "OK (nested lane sets)"
+                                                    : "DEVIATES");
+}
+
+// Timing: a full six-point severity sweep (six tester bring-ups plus six
+// 2048-bit loopback measurements).
+void bm_fault_sweep(benchmark::State& state) {
+  const std::vector<double> severities{0.0, 0.125, 0.25, 0.5, 0.75, 1.0};
+  for (auto _ : state) {
+    const auto sweep = ana::fault_sweep(severities, measure_at);
+    benchmark::DoNotOptimize(sweep);
+  }
+}
+BENCHMARK(bm_fault_sweep)->Unit(benchmark::kMillisecond);
+
+// Timing: the empty-plan guarantee. Both loops run the identical healthy
+// loopback; the only difference is whether an (empty) FaultPlan object is
+// carried in the config. The two timings should be indistinguishable.
+void bm_loopback_no_plan(benchmark::State& state) {
+  auto tester = make_tester(0.0, false);
+  tester.program_prbs(7, 0xACE1F00D);
+  tester.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tester.run_loopback(2048));
+  }
+}
+BENCHMARK(bm_loopback_no_plan)->Unit(benchmark::kMillisecond);
+
+void bm_loopback_empty_plan(benchmark::State& state) {
+  minitester::MiniTester::Config config;
+  config.channel.faults = fault::FaultPlan(12345);  // seeded, no specs
+  minitester::MiniTester tester(config, 91);
+  tester.program_prbs(7, 0xACE1F00D);
+  tester.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tester.run_loopback(2048));
+  }
+}
+BENCHMARK(bm_loopback_empty_plan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Fault sweep - loopback BER vs stuck-lane severity (5 Gbps tester)");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

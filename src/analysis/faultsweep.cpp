@@ -1,0 +1,40 @@
+#include "analysis/faultsweep.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::ana {
+
+std::vector<FaultSweepPoint> fault_sweep(const std::vector<double>& severities,
+                                         const FaultRunner& run,
+                                         const EyeProbe& eye_probe) {
+  MGT_CHECK(static_cast<bool>(run), "fault_sweep needs a runner");
+  std::vector<FaultSweepPoint> sweep;
+  sweep.reserve(severities.size());
+  for (const double severity : severities) {
+    MGT_CHECK(severity >= 0.0 && severity <= 1.0,
+              "fault severity must be in [0, 1]");
+    const BerResult ber = run(severity);
+    FaultSweepPoint point;
+    point.severity = severity;
+    point.ber = ber.ber();
+    point.errors = ber.errors;
+    point.bits = ber.bits_compared;
+    if (eye_probe) {
+      point.eye_opening = eye_probe(severity);
+    }
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+bool ber_monotonic_nondecreasing(const std::vector<FaultSweepPoint>& sweep,
+                                 double tolerance) {
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i].ber + tolerance < sweep[i - 1].ber) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mgt::ana

@@ -1,0 +1,51 @@
+// Fault-severity sweeps: BER / eye degradation versus injected severity.
+//
+// The robustness counterpart of the bathtub scan: instead of walking the
+// strobe across the eye, walk a fault's severity from 0 (healthy) to 1
+// (fully faulted) and record how the link's BER (and optionally the eye
+// opening) degrades. A well-behaved fault model yields a monotonic curve
+// for cumulative fault kinds (e.g. the fraction of stuck mux lanes);
+// ber_monotonic_nondecreasing checks that property so regressions in the
+// fault layer are caught mechanically.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "analysis/ber.hpp"
+
+namespace mgt::ana {
+
+/// One point of a fault-severity sweep.
+struct FaultSweepPoint {
+  double severity = 0.0;
+  double ber = 0.0;
+  std::size_t errors = 0;
+  std::size_t bits = 0;
+  /// Optional eye metric at this severity (0 when no probe was supplied).
+  Picoseconds eye_opening{0.0};
+};
+
+/// Runs one full measurement at a given fault severity and reports the BER.
+/// The runner owns the whole rebuild-and-measure cycle (construct the
+/// system with the severity-scaled FaultPlan, run traffic, compare bits) so
+/// the sweep stays agnostic of which component is being degraded.
+using FaultRunner = std::function<BerResult(double severity)>;
+
+/// Optional probe returning the horizontal eye opening at a severity.
+using EyeProbe = std::function<Picoseconds(double severity)>;
+
+/// Sweeps `severities` (caller-chosen grid, typically 0 -> 1) through the
+/// runner, recording BER per point; when `eye_probe` is non-null it is
+/// invoked per point as well.
+std::vector<FaultSweepPoint> fault_sweep(const std::vector<double>& severities,
+                                         const FaultRunner& run,
+                                         const EyeProbe& eye_probe = nullptr);
+
+/// True when BER never decreases as severity increases, within `tolerance`
+/// (absolute BER slack for counting noise at low error counts).
+bool ber_monotonic_nondecreasing(const std::vector<FaultSweepPoint>& sweep,
+                                 double tolerance = 0.0);
+
+}  // namespace mgt::ana

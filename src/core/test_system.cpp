@@ -1,8 +1,9 @@
 #include "core/test_system.hpp"
 
 #include <algorithm>
-
+#include <cmath>
 #include <memory>
+#include <string>
 
 #include "digital/bitstream.hpp"
 #include "digital/jtag.hpp"
@@ -109,6 +110,9 @@ TestSystem::TestSystem(ChannelConfig config, std::uint64_t seed)
   const auto lane_rate = dlc_.check_lane_rate(config_.rate);
   usb_host_.write_register(dig::reg::kLaneRateMbps,
                            static_cast<std::uint32_t>(lane_rate.mbps()));
+
+  serializer_.set_faults(config_.faults.component("serializer"));
+  clock_.set_faults(config_.faults.component("clock"));
 }
 
 void TestSystem::program_prbs(unsigned order, std::uint64_t seed) {
@@ -174,6 +178,115 @@ Stimulus TestSystem::generate(std::size_t n_bits) {
   out.t0 = serializer_.total_prop_delay() + buffer_.config().prop_delay +
            Picoseconds{hookup_.config().delay.ps()} + out.chain.group_delay();
   return out;
+}
+
+fault::HealthReport TestSystem::self_test() {
+  fault::HealthReport report;
+
+  // USB + register file: scratch write/read-back, restored afterwards.
+  {
+    constexpr std::uint32_t kProbe = 0xA5C3F00Du;
+    const std::uint32_t saved = usb_host_.read_register(dig::reg::kScratch);
+    usb_host_.write_register(dig::reg::kScratch, kProbe);
+    const std::uint32_t readback = usb_host_.read_register(dig::reg::kScratch);
+    usb_host_.write_register(dig::reg::kScratch, saved);
+    report.add("usb",
+               readback == kProbe ? fault::HealthStatus::kOk
+                                  : fault::HealthStatus::kFailed,
+               readback == kProbe ? "" : "scratch read-back mismatch");
+  }
+
+  // DLC: identification register plus a capture-memory loopback over the
+  // same USB path pattern uploads take.
+  {
+    const std::uint32_t id = usb_host_.read_register(dig::reg::kId);
+    if (id != dig::reg::kIdValue) {
+      report.add("dlc", fault::HealthStatus::kFailed, "bad ID register");
+    } else {
+      const BitVector pattern = BitVector::alternating(64, true);
+      dlc_.store_capture(pattern);
+      const BitVector back = dig::read_capture(usb_host_);
+      const bool ok = back.size() == pattern.size() &&
+                      back.hamming_distance(pattern) == 0;
+      report.add("dlc",
+                 ok ? fault::HealthStatus::kOk : fault::HealthStatus::kFailed,
+                 ok ? "" : "capture-memory loopback mismatch");
+    }
+  }
+
+  // RF clock: a short burst must produce one transition per half-period,
+  // strictly ordered. Glitched edges survive as ordering violations once
+  // displacement exceeds the half-period.
+  {
+    constexpr std::size_t kCycles = 16;
+    const auto clk = clock_.generate(kCycles);
+    if (!clk.well_formed() || clk.size() != 2 * kCycles) {
+      report.add("clock", fault::HealthStatus::kFailed,
+                 "malformed clock burst");
+    } else {
+      // Every half-period must stay within half a UI of nominal.
+      const double half = clock_.period().ps() / 2.0;
+      std::size_t displaced = 0;
+      for (std::size_t k = 0; k < clk.size(); ++k) {
+        const double nominal = static_cast<double>(k) * half;
+        if (std::abs(clk.transitions()[k].time.ps() - nominal) > 0.25 * half) {
+          ++displaced;
+        }
+      }
+      report.add("clock",
+                 displaced == 0 ? fault::HealthStatus::kOk
+                                : fault::HealthStatus::kDegraded,
+                 displaced == 0
+                     ? ""
+                     : std::to_string(displaced) + " displaced edges");
+    }
+  }
+
+  // Serializer: loop an alternating sequence through the tree and recover
+  // it by center-sampling; skew and RJ are small against the UI, so any
+  // mismatch is a stuck or dropped lane.
+  {
+    const std::size_t lanes = serializer_.total_lanes();
+    const std::size_t n_bits = 8 * lanes;
+    const BitVector bits = BitVector::alternating(n_bits, false);
+    const auto edges = serializer_.serialize(bits, config_.rate);
+    const BitVector recovered = edges.to_bits(
+        n_bits, config_.rate.unit_interval(), serializer_.total_prop_delay());
+    const std::size_t mismatches = recovered.hamming_distance(bits);
+    fault::HealthStatus status = fault::HealthStatus::kOk;
+    if (mismatches > n_bits / 8) {
+      status = fault::HealthStatus::kFailed;
+    } else if (mismatches > 0) {
+      status = fault::HealthStatus::kDegraded;
+    }
+    report.add("serializer", status,
+               mismatches == 0 ? ""
+                               : std::to_string(mismatches) + "/" +
+                                     std::to_string(n_bits) +
+                                     " loopback mismatches");
+  }
+
+  // Output buffer: the programmed rails must leave a positive swing.
+  {
+    const auto& levels = buffer_.levels();
+    const bool ok = levels.voh.mv() > levels.vol.mv();
+    report.add("buffer",
+               ok ? fault::HealthStatus::kOk : fault::HealthStatus::kFailed,
+               ok ? "" : "non-positive output swing");
+  }
+
+  // Hookup: a single edge must come through delayed and intact.
+  {
+    sig::EdgeStream probe(false);
+    probe.push(Picoseconds{100.0}, true);
+    const auto through = hookup_.propagate(probe);
+    const bool ok = through.well_formed() && through.size() == 1;
+    report.add("hookup",
+               ok ? fault::HealthStatus::kOk : fault::HealthStatus::kFailed,
+               ok ? "" : "edge lost in hookup");
+  }
+
+  return report;
 }
 
 void TestSystem::render_stimulus(const Stimulus& stimulus, std::size_t n_bits,

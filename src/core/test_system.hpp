@@ -25,6 +25,8 @@
 #include "analysis/risefall.hpp"
 #include "analysis/timing.hpp"
 #include "digital/dlc.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "digital/flash.hpp"
 #include "digital/usb.hpp"
 #include "pecl/buffer.hpp"
@@ -45,6 +47,9 @@ struct ChannelConfig {
   dig::DlcSpec dlc_spec{};
   /// Name of the FPGA personalization loaded at boot.
   std::string design_name = "mgt-stimulus";
+  /// Scheduled faults; component slices "serializer" and "clock" are wired
+  /// at construction. An empty plan (the default) changes nothing.
+  fault::FaultPlan faults{};
 };
 
 /// One generated stimulus: edges at the measurement point plus everything
@@ -90,6 +95,15 @@ public:
 
   /// Serializes n_bits through the full chain. Requires start().
   Stimulus generate(std::size_t n_bits);
+
+  // -- Health -------------------------------------------------------------
+
+  /// Runs a loopback check on every block (USB register file, DLC capture
+  /// path, RF clock, serializer, output buffer, hookup) and reports
+  /// per-component status. Diagnostic stimulus consumes serializer/clock
+  /// RNG draws, like a real self-test cycle perturbs the hardware state;
+  /// run it before, not between, golden acquisitions.
+  fault::HealthReport self_test();
 
   // -- Scope-style measurements (each generates a fresh acquisition) ------
 

@@ -1,0 +1,67 @@
+#include "fault/health.hpp"
+
+namespace mgt::fault {
+
+std::string_view to_string(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kOk:
+      return "ok";
+    case HealthStatus::kDegraded:
+      return "degraded";
+    case HealthStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void HealthReport::add(std::string component, HealthStatus status,
+                       std::string detail) {
+  components_.push_back(ComponentHealth{std::move(component), status,
+                                        std::move(detail)});
+}
+
+bool HealthReport::all_ok() const {
+  return worst() == HealthStatus::kOk;
+}
+
+HealthStatus HealthReport::worst() const {
+  HealthStatus worst = HealthStatus::kOk;
+  for (const ComponentHealth& c : components_) {
+    if (static_cast<int>(c.status) > static_cast<int>(worst)) {
+      worst = c.status;
+    }
+  }
+  return worst;
+}
+
+const ComponentHealth* HealthReport::find(std::string_view component) const {
+  for (const ComponentHealth& c : components_) {
+    if (c.component == component) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+void HealthReport::merge(const HealthReport& other, std::string_view prefix) {
+  for (const ComponentHealth& c : other.components_) {
+    components_.push_back(ComponentHealth{std::string(prefix) + c.component,
+                                          c.status, c.detail});
+  }
+}
+
+std::string HealthReport::to_string() const {
+  std::string out;
+  for (const ComponentHealth& c : components_) {
+    out += c.component;
+    out += ": ";
+    out += fault::to_string(c.status);
+    if (!c.detail.empty()) {
+      out += " (" + c.detail + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mgt::fault

@@ -1,0 +1,56 @@
+// Per-component health reporting.
+//
+// The production answer to "did the box silently go bad?": every block in
+// the signal chain can run a loopback-style self check and contribute a
+// ComponentHealth entry; HealthReport aggregates them so a controlling PC
+// (or a test) can see at a glance which component failed and which are
+// merely degraded. TestSystem::self_test() is the primary producer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgt::fault {
+
+enum class HealthStatus {
+  kOk,        // block behaves nominally
+  kDegraded,  // usable but out of spec (masked pins, retried cal, drift)
+  kFailed,    // block unusable; results from it cannot be trusted
+};
+
+[[nodiscard]] std::string_view to_string(HealthStatus status);
+
+/// One block's self-test verdict.
+struct ComponentHealth {
+  std::string component;
+  HealthStatus status = HealthStatus::kOk;
+  std::string detail;
+};
+
+/// Ordered collection of per-component verdicts.
+class HealthReport {
+public:
+  void add(std::string component, HealthStatus status,
+           std::string detail = {});
+
+  [[nodiscard]] bool all_ok() const;
+  /// Worst status across components (kOk when the report is empty).
+  [[nodiscard]] HealthStatus worst() const;
+  /// Entry for `component`, or nullptr when absent.
+  [[nodiscard]] const ComponentHealth* find(std::string_view component) const;
+  [[nodiscard]] const std::vector<ComponentHealth>& components() const {
+    return components_;
+  }
+
+  /// Absorbs another report, prefixing its component names ("rx." + name).
+  void merge(const HealthReport& other, std::string_view prefix = {});
+
+  /// Multi-line "component: status (detail)" rendering for logs/demos.
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  std::vector<ComponentHealth> components_;
+};
+
+}  // namespace mgt::fault

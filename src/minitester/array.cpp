@@ -42,9 +42,28 @@ TesterArray::WaferResult TesterArray::probe_wafer(std::size_t n_dies) {
     bool fail = false;
     bool escape = false;
     bool overkill = false;
+    bool masked = false;
   };
+  const fault::ComponentFaults array_faults =
+      config_.faults.component("array");
   std::vector<DieOutcome> outcomes(n_dies);
   util::parallel_for(n_dies, [&](std::size_t die) {
+    // Dead-pin masking: a die lands on site (die % testers) during
+    // touchdown (die / testers); when that site's pin or probe contact is
+    // faulted, the die is skipped — the array keeps probing the rest —
+    // and flagged for retest. Decided purely from (plan, site, touchdown),
+    // so masking is identical at every thread count.
+    if (array_faults.any()) {
+      const std::size_t site_index = die % config_.testers;
+      const std::uint64_t touchdown = die / config_.testers;
+      if (array_faults.active(fault::FaultKind::kDeadPin, touchdown,
+                              site_index) ||
+          array_faults.active(fault::FaultKind::kProbeContactLoss, touchdown,
+                              site_index)) {
+        outcomes[die] = DieOutcome{.masked = true};
+        return;
+      }
+    }
     Rng rng = util::task_rng(seed_, die);
     const bool defective = rng.chance(config_.defect_rate);
     MiniTester::Config site = config_.site;
@@ -65,6 +84,7 @@ TesterArray::WaferResult TesterArray::probe_wafer(std::size_t n_dies) {
     out.fails += o.fail ? 1 : 0;
     out.escapes += o.escape ? 1 : 0;
     out.overkills += o.overkill ? 1 : 0;
+    out.masked += o.masked ? 1 : 0;
   }
   return out;
 }

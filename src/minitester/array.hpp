@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "minitester/minitester.hpp"
 
 namespace mgt::minitester {
@@ -25,6 +26,11 @@ public:
     double touchdown_overhead_s = 1.5;
     /// Electrical test time per die (dominated by the BIST run).
     double per_die_test_s = 0.8;
+    /// Scheduled faults; the array consumes the "array" slice (kinds
+    /// kDeadPin / kProbeContactLoss; index = site, tick = touchdown).
+    /// A faulted site is masked — skipped but still stepped over — so
+    /// the wafer completes with those dies flagged for retest.
+    fault::FaultPlan faults{};
   };
 
   TesterArray(Config config, std::uint64_t seed);
@@ -36,6 +42,9 @@ public:
     std::size_t fails = 0;
     std::size_t escapes = 0;       // defective dies the test passed
     std::size_t overkills = 0;     // good dies the test failed
+    /// Dies skipped because their site's pin/probe contact was faulted;
+    /// they are untested (not fails) and flagged for retest.
+    std::size_t masked = 0;
     double total_time_s = 0.0;
 
     [[nodiscard]] double dies_per_hour() const {

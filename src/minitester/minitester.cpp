@@ -19,6 +19,9 @@ MiniTester::MiniTester(Config config, std::uint64_t seed)
   const double ui = config_.channel.rate.unit_interval().ps();
   const double step = config_.strobe_delay.step.ps();
   strobe_delay_.set_code(static_cast<std::size_t>(ui / 2.0 / step));
+  // The strobe delay line consumes the "strobe" slice of the channel's
+  // fault plan (kDelayDrift walks the sampling point across the eye).
+  strobe_delay_.set_faults(config_.channel.faults.component("strobe"));
 }
 
 void MiniTester::set_strobe_code(std::size_t code) {
@@ -62,7 +65,8 @@ ana::BerResult MiniTester::run_loopback(std::size_t n_bits) {
   const std::size_t n_capture = n_bits - config_.warmup_bits - 1;
   const Picoseconds first{
       path.t0.ps() + static_cast<double>(config_.warmup_bits) * path.ui.ps() +
-      strobe_delay_.actual_delay(strobe_delay_.code()).ps()};
+      strobe_delay_.actual_delay(strobe_delay_.code()).ps() +
+      strobe_delay_.fault_drift().ps()};
   const auto strobes =
       pecl::PeclSampler::strobe_schedule(first, path.ui, n_capture);
 

@@ -1,5 +1,7 @@
 #include "pecl/clocksource.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace mgt::pecl {
@@ -17,15 +19,33 @@ void ClockSource::set_frequency(Gigahertz f) {
   config_.frequency = f;
 }
 
+void ClockSource::set_faults(fault::ComponentFaults faults) {
+  faults_ = std::move(faults);
+}
+
 sig::EdgeStream ClockSource::generate(std::size_t n_cycles, Picoseconds t0) {
   const Picoseconds period = config_.frequency.period();
-  auto jitter = [this](std::size_t, Picoseconds) {
-    return Picoseconds{rng_.gaussian(0.0, config_.rj_sigma.ps())};
+  const bool glitching = faults_.any(fault::FaultKind::kClockGlitch);
+  auto jitter = [this, period, glitching](std::size_t edge, Picoseconds) {
+    double dt = 0.0;
+    if (config_.rj_sigma.ps() > 0.0) {
+      dt = rng_.gaussian(0.0, config_.rj_sigma.ps());
+    }
+    if (glitching && faults_.active(fault::FaultKind::kClockGlitch, edge)) {
+      // Keyed on the edge index, not rng_, so scheduling a fault leaves
+      // the healthy jitter sequence byte-identical.
+      Rng fault_rng = faults_.rng(edge);
+      const double sev = faults_.severity(fault::FaultKind::kClockGlitch, edge);
+      if (fault_rng.chance(std::min(1.0, kGlitchEdgeFraction * sev))) {
+        dt += kGlitchPeriodFraction * period.ps() * sev;
+      }
+    }
+    return Picoseconds{dt};
   };
+  const bool need_offset = config_.rj_sigma.ps() > 0.0 || glitching;
   return sig::EdgeStream::clock(period, n_cycles, t0,
-                                config_.rj_sigma.ps() > 0.0
-                                    ? sig::EdgeOffsetFn(jitter)
-                                    : sig::EdgeOffsetFn(nullptr));
+                                need_offset ? sig::EdgeOffsetFn(jitter)
+                                            : sig::EdgeOffsetFn(nullptr));
 }
 
 std::vector<Picoseconds> ClockSource::rising_edge_grid(std::size_t n,

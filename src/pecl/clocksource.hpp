@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "signal/edge.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -25,7 +26,20 @@ public:
     Gigahertz max_frequency{2.5};
   };
 
+  /// Fraction of edges a severity-1.0 kClockGlitch fault displaces, and
+  /// the displacement as a fraction of the clock period.
+  static constexpr double kGlitchEdgeFraction = 0.1;
+  static constexpr double kGlitchPeriodFraction = 0.35;
+
   ClockSource(Config config, Rng rng);
+
+  /// Attaches this source's fault slice (kind kClockGlitch; tick = edge
+  /// index counting every transition). Glitched edges are displaced by
+  /// kGlitchPeriodFraction * period * severity; which edges glitch is
+  /// decided by a fault-plan RNG keyed on the edge index, so the healthy
+  /// jitter sequence is unchanged by scheduling faults.
+  void set_faults(fault::ComponentFaults faults);
+  [[nodiscard]] const fault::ComponentFaults& faults() const { return faults_; }
 
   [[nodiscard]] Gigahertz frequency() const { return config_.frequency; }
   [[nodiscard]] Picoseconds period() const { return config_.frequency.period(); }
@@ -45,6 +59,7 @@ public:
 private:
   Config config_;
   Rng rng_;
+  fault::ComponentFaults faults_;
 };
 
 }  // namespace mgt::pecl

@@ -78,13 +78,33 @@ Picoseconds ClockTree::path_rj_sigma() const {
   return Picoseconds{per * std::sqrt(static_cast<double>(depth_))};
 }
 
+void ClockTree::set_faults(fault::ComponentFaults faults) {
+  faults_ = std::move(faults);
+}
+
 sig::EdgeStream ClockTree::drive(const sig::EdgeStream& input,
                                  std::size_t load) {
   sig::EdgeStream stream = input;
   for (const Hop& hop : path_of(load)) {
     stream = buffer_at(hop.level, hop.index).drive(stream, hop.port);
   }
-  return stream;
+  if (!faults_.any(fault::FaultKind::kClockGlitch)) {
+    return stream;
+  }
+  // Displace glitched edges late by severity * half the gap to the next
+  // edge; bounding by the gap keeps the stream well-formed by construction.
+  const auto& trs = stream.transitions();
+  sig::EdgeStream out(stream.initial_level());
+  for (std::size_t k = 0; k < trs.size(); ++k) {
+    double t = trs[k].time.ps();
+    if (faults_.active(fault::FaultKind::kClockGlitch, k, load) &&
+        k + 1 < trs.size()) {
+      const double gap = trs[k + 1].time.ps() - t;
+      t += 0.5 * gap * faults_.severity(fault::FaultKind::kClockGlitch, k, load);
+    }
+    out.push(Picoseconds{t}, trs[k].level);
+  }
+  return out;
 }
 
 }  // namespace mgt::pecl

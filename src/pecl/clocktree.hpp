@@ -12,6 +12,7 @@
 #include <map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "pecl/fanout.hpp"
 #include "signal/edge.hpp"
 #include "util/rng.hpp"
@@ -46,6 +47,12 @@ public:
   /// RJ sigma accumulated along any root-to-load path (buffers RSS).
   [[nodiscard]] Picoseconds path_rj_sigma() const;
 
+  /// Attaches this tree's fault slice (kind kClockGlitch; index = load,
+  /// tick = edge index). A glitched load's edges are displaced late by
+  /// severity * half the inter-edge spacing of the driven clock.
+  void set_faults(fault::ComponentFaults faults);
+  [[nodiscard]] const fault::ComponentFaults& faults() const { return faults_; }
+
   /// Drives the input clock to the given load through the buffer chain
   /// (applies delays, skews and per-edge jitter of every stage).
   sig::EdgeStream drive(const sig::EdgeStream& input, std::size_t load);
@@ -63,6 +70,7 @@ private:
 
   Config config_;
   std::size_t depth_ = 1;
+  fault::ComponentFaults faults_;
   std::map<std::pair<std::size_t, std::size_t>, ClockFanout> buffers_;
 };
 

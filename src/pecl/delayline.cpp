@@ -32,6 +32,18 @@ ProgrammableDelay::ProgrammableDelay(Config config, Rng rng)
   inl_ps_[0] = 0.0;  // code 0 is the calibration reference
 }
 
+void ProgrammableDelay::set_faults(fault::ComponentFaults faults) {
+  faults_ = std::move(faults);
+}
+
+Picoseconds ProgrammableDelay::fault_drift(std::uint64_t tick) const {
+  if (!faults_.any(fault::FaultKind::kDelayDrift)) {
+    return Picoseconds{0.0};
+  }
+  return Picoseconds{faults_.severity(fault::FaultKind::kDelayDrift, tick) *
+                     kDriftFullScalePs};
+}
+
 void ProgrammableDelay::set_code(std::size_t code) {
   MGT_CHECK(code < config_.code_count, "delay code out of range");
   code_ = code;
@@ -59,13 +71,19 @@ Picoseconds ProgrammableDelay::worst_case_error() const {
 sig::EdgeStream ProgrammableDelay::apply(const sig::EdgeStream& input) {
   const double base =
       config_.insertion_delay.ps() + actual_delay(code_).ps();
+  const bool drifting = faults_.any(fault::FaultKind::kDelayDrift);
   sig::EdgeStream out(input.initial_level());
   double last = -1e300;
+  std::uint64_t edge = 0;
   for (const auto& tr : input.transitions()) {
     double t = tr.time.ps() + base;
     if (config_.rj_sigma.ps() > 0.0) {
       t += rng_.gaussian(0.0, config_.rj_sigma.ps());
     }
+    if (drifting) {
+      t += fault_drift(edge).ps();
+    }
+    ++edge;
     t = std::max(t, last + 1e-3);
     out.push(Picoseconds{t}, tr.level);
     last = t;

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "signal/edge.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -28,8 +29,22 @@ public:
     Picoseconds insertion_delay{900.0};  // nominal through-delay
   };
 
+  /// Full-scale drift (ps) a severity-1.0 kDelayDrift fault adds: more
+  /// than half a unit interval at 5 Gbps, enough to walk a strobe out of
+  /// any eye this library produces.
+  static constexpr double kDriftFullScalePs = 120.0;
+
   /// The part's error profile is drawn once from `rng` at construction.
   ProgrammableDelay(Config config, Rng rng);
+
+  /// Attaches this part's fault slice (kind kDelayDrift; tick = edge
+  /// index). An empty slice leaves apply()/fault_drift() untouched.
+  void set_faults(fault::ComponentFaults faults);
+  [[nodiscard]] const fault::ComponentFaults& faults() const { return faults_; }
+
+  /// Extra delay the scheduled drift faults contribute at `tick`
+  /// (severity * kDriftFullScalePs; zero when healthy).
+  [[nodiscard]] Picoseconds fault_drift(std::uint64_t tick = 0) const;
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] std::size_t code_count() const { return config_.code_count; }
@@ -58,6 +73,7 @@ public:
 private:
   Config config_;
   Rng rng_;
+  fault::ComponentFaults faults_;
   std::size_t code_ = 0;
   double offset_ps_;
   double gain_;

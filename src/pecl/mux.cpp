@@ -70,6 +70,43 @@ Picoseconds SerializerTree::total_rj_sigma() const {
   return Picoseconds{std::sqrt(sum_sq)};
 }
 
+void SerializerTree::set_faults(fault::ComponentFaults faults) {
+  faults_ = std::move(faults);
+}
+
+BitVector SerializerTree::faulted_bits(const BitVector& bits) const {
+  const std::size_t lanes = total_lanes();
+  BitVector out = bits;
+  bool previous = false;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const std::size_t lane = lane_for_bit(k);
+    bool value = out.get(k);
+    for (const fault::FaultSpec& spec : faults_.specs()) {
+      if (!spec.active_at(k)) {
+        continue;
+      }
+      // kAllIndices + severity selects the low `severity` fraction of the
+      // lane bus (how a failing mux part takes out adjacent inputs).
+      const bool hits =
+          spec.index == fault::FaultSpec::kAllIndices
+              ? static_cast<double>(lane) <
+                    spec.severity * static_cast<double>(lanes)
+              : spec.index == lane;
+      if (!hits) {
+        continue;
+      }
+      if (spec.kind == fault::FaultKind::kMuxStuckAt) {
+        value = spec.stuck_high;
+      } else if (spec.kind == fault::FaultKind::kMuxDropout) {
+        value = previous;  // lane contributes no transition
+      }
+    }
+    out.set(k, value);
+    previous = value;
+  }
+  return out;
+}
+
 sig::EdgeStream SerializerTree::serialize(const BitVector& bits,
                                           GbitsPerSec rate, Picoseconds t0) {
   MGT_CHECK(rate.gbps() > 0.0);
@@ -83,6 +120,10 @@ sig::EdgeStream SerializerTree::serialize(const BitVector& bits,
     }
     return Picoseconds{dt};
   };
+  if (faults_.any()) {
+    return sig::EdgeStream::from_bits(faulted_bits(bits), rate.unit_interval(),
+                                      start, offset);
+  }
   return sig::EdgeStream::from_bits(bits, rate.unit_interval(), start, offset);
 }
 

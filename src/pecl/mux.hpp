@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "signal/edge.hpp"
 #include "util/bitvec.hpp"
 #include "util/rng.hpp"
@@ -44,6 +45,17 @@ public:
   /// Per-input skews are drawn once at construction.
   SerializerTree(Config config, Rng rng);
 
+  /// Attaches this tree's fault slice (kinds kMuxStuckAt / kMuxDropout;
+  /// index = lane, tick = serial bit index, kAllIndices + severity = the
+  /// affected lane fraction). An empty slice leaves serialize() untouched.
+  void set_faults(fault::ComponentFaults faults);
+  [[nodiscard]] const fault::ComponentFaults& faults() const { return faults_; }
+
+  /// DLC lane that sources serial bit k (final-stage input varies fastest).
+  [[nodiscard]] std::size_t lane_for_bit(std::size_t k) const {
+    return k % total_lanes();
+  }
+
   [[nodiscard]] std::size_t total_lanes() const;
   [[nodiscard]] Picoseconds total_prop_delay() const;
 
@@ -75,8 +87,13 @@ public:
   static Config minitester_16to1();
 
 private:
+  /// Applies scheduled mux faults to the serial sequence: stuck lanes pin
+  /// their bits, dropped-out lanes hold the previous serial value.
+  [[nodiscard]] BitVector faulted_bits(const BitVector& bits) const;
+
   Config config_;
   Rng rng_;
+  fault::ComponentFaults faults_;
   std::vector<std::vector<Picoseconds>> skews_;  // [stage][input]
 };
 

@@ -10,15 +10,16 @@ namespace mgt::testbed {
 
 namespace {
 
-/// First transition time of `signal` at or after `t_begin`; throws when
-/// the channel is dead.
+/// First transition time of `signal` at or after `t_begin`; throws a
+/// RecoverableError when the channel is dead so bring-up procedures can
+/// mask the channel and continue.
 double first_edge_after(const sig::EdgeStream& signal, Picoseconds t_begin) {
   for (const auto& tr : signal.transitions()) {
     if (tr.time >= t_begin) {
       return tr.time.ps();
     }
   }
-  throw Error("calibration: channel produced no edges");
+  throw RecoverableError("calibration", "channel produced no edges");
 }
 
 /// Calibration pattern: a packet whose payload channels toggle every bit.
@@ -123,6 +124,173 @@ CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
     r -= mean;
   }
   return report;
+}
+
+namespace {
+
+/// measure_channel_skew with per-channel fault masking: a channel that
+/// produces no edges is marked dead instead of aborting the measurement.
+struct MaskedSkew {
+  std::array<Picoseconds, kHighSpeedChannels> skew{};
+  std::array<bool, kHighSpeedChannels> alive{};
+};
+
+MaskedSkew measure_skew_masked(OpticalTransmitter& tx,
+                               std::size_t averaging_slots) {
+  MGT_CHECK(averaging_slots >= 1);
+  const SlotFormat& fmt = tx.config().format;
+  const auto packet = alignment_packet(fmt);
+  const double nominal_lead =
+      static_cast<double>(fmt.pre_clock_bits) * fmt.ui.ps();
+
+  MaskedSkew out;
+  out.alive.fill(true);
+  std::array<RunningStats, kHighSpeedChannels> stats{};
+  for (std::size_t slot = 0; slot < averaging_slots; ++slot) {
+    const Picoseconds t_start{static_cast<double>(slot) * 4.0 *
+                              fmt.slot_duration().ps()};
+    const auto signals = tx.transmit(packet, t_start);
+    double t_clock = 0.0;
+    try {
+      t_clock = first_edge_after(signals.clock, t_start);
+    } catch (const RecoverableError&) {
+      // No timing reference at all: every skew is unmeasurable.
+      out.alive[kClockChannel] = false;
+      return out;
+    }
+    for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+      if (!out.alive[ch]) {
+        continue;
+      }
+      try {
+        const double t_data = first_edge_after(signals.data[ch], t_start);
+        stats[ch].add(t_data - t_clock - nominal_lead);
+      } catch (const RecoverableError&) {
+        out.alive[ch] = false;
+      }
+    }
+  }
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    out.skew[ch] =
+        out.alive[ch] ? Picoseconds{stats[ch].mean()} : Picoseconds{0.0};
+  }
+  out.skew[kClockChannel] = Picoseconds{0.0};
+  return out;
+}
+
+/// Worst |residual| across alive channels after removing their common mode.
+Picoseconds worst_alive_residual(
+    std::array<Picoseconds, kHighSpeedChannels>& residual,
+    const std::array<bool, kHighSpeedChannels>& alive) {
+  double mean = 0.0;
+  std::size_t n = 0;
+  for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+    if (alive[ch]) {
+      mean += residual[ch].ps();
+      ++n;
+    }
+  }
+  mean /= static_cast<double>(n == 0 ? 1 : n);
+  double worst = 0.0;
+  for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+    if (alive[ch]) {
+      residual[ch] -= Picoseconds{mean};
+      worst = std::max(worst, std::abs(residual[ch].ps()));
+    } else {
+      residual[ch] = Picoseconds{0.0};
+    }
+  }
+  return Picoseconds{worst};
+}
+
+}  // namespace
+
+CalibrationOutcome calibrate_with_recovery(OpticalTransmitter& tx,
+                                           const CalibrationOptions& options) {
+  MGT_CHECK(options.max_attempts >= 1);
+  MGT_CHECK(options.averaging_slots >= 1);
+
+  CalibrationOutcome outcome;
+  std::size_t averaging = options.averaging_slots;
+  for (std::size_t attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    outcome.averaging_slots_used = averaging;
+
+    const MaskedSkew initial = measure_skew_masked(tx, averaging);
+    outcome.report.initial_skew = initial.skew;
+    if (!initial.alive[kClockChannel]) {
+      // No reference: nothing left to align against, give up immediately.
+      outcome.dead_channels.assign(1, kClockChannel);
+      outcome.converged = false;
+      return outcome;
+    }
+
+    const double step = tx.channel_delay(0).config().step.ps();
+    std::array<std::size_t, kHighSpeedChannels> codes{};
+    for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+      codes[ch] = tx.channel_delay(ch).code();
+    }
+
+    std::array<bool, kHighSpeedChannels> alive = initial.alive;
+    for (int pass = 0; pass < 2; ++pass) {
+      const MaskedSkew measured = measure_skew_masked(tx, averaging);
+      if (!measured.alive[kClockChannel]) {
+        outcome.dead_channels.assign(1, kClockChannel);
+        outcome.converged = false;
+        return outcome;
+      }
+      for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+        alive[ch] = alive[ch] && measured.alive[ch];
+      }
+      // Align alive channels to the latest alive one (delays only add).
+      Picoseconds latest{-1e300};
+      for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+        if (alive[ch]) {
+          latest = std::max(latest, measured.skew[ch]);
+        }
+      }
+      for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+        if (!alive[ch]) {
+          continue;
+        }
+        const Picoseconds needed = latest - measured.skew[ch];
+        const auto delta = static_cast<long>(std::lround(needed.ps() / step));
+        const long code = static_cast<long>(codes[ch]) + delta;
+        const long max_code =
+            static_cast<long>(tx.channel_delay(ch).code_count()) - 1;
+        codes[ch] = static_cast<std::size_t>(std::clamp(code, 0L, max_code));
+        tx.set_channel_delay_code(ch, codes[ch]);
+      }
+    }
+
+    outcome.report.programmed_codes = codes;
+    MaskedSkew residual = measure_skew_masked(tx, averaging);
+    if (!residual.alive[kClockChannel]) {
+      outcome.dead_channels.assign(1, kClockChannel);
+      outcome.converged = false;
+      return outcome;
+    }
+    for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+      alive[ch] = alive[ch] && residual.alive[ch];
+    }
+    outcome.report.residual_skew = residual.skew;
+    const Picoseconds worst =
+        worst_alive_residual(outcome.report.residual_skew, alive);
+
+    outcome.dead_channels.clear();
+    for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+      if (!alive[ch]) {
+        outcome.dead_channels.push_back(ch);
+      }
+    }
+    if (worst <= options.residual_bound) {
+      outcome.converged = true;
+      return outcome;
+    }
+    averaging *= 2;  // bounded backoff: retry with deeper averaging
+  }
+  outcome.converged = false;
+  return outcome;
 }
 
 }  // namespace mgt::testbed

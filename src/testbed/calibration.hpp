@@ -45,8 +45,47 @@ CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
 
 /// Measures the current per-channel skew (relative to the clock channel)
 /// without changing any programming. Element kClockChannel is 0 by
-/// construction.
+/// construction. Throws mgt::RecoverableError when a channel produces no
+/// edges (dead channel); use calibrate_with_recovery to mask dead channels
+/// and keep going instead.
 std::array<Picoseconds, kHighSpeedChannels> measure_channel_skew(
     OpticalTransmitter& tx, std::size_t averaging_slots = 8);
+
+/// Knobs of the bring-up procedure with recovery.
+struct CalibrationOptions {
+  /// Packet slots averaged per measurement on the first attempt; doubled
+  /// on every retry (bounded backoff: more averaging beats down the random
+  /// jitter that made the previous attempt miss the bound).
+  std::size_t averaging_slots = 8;
+  std::size_t max_attempts = 3;
+  /// Residual-skew acceptance bound (paper: about +-25 ps).
+  Picoseconds residual_bound{25.0};
+};
+
+/// What calibrate_with_recovery did and how it ended.
+struct CalibrationOutcome {
+  CalibrationReport report;
+  /// True when the worst alive-channel residual met the bound.
+  bool converged = false;
+  std::size_t attempts = 0;
+  /// Averaging depth of the final (reported) attempt.
+  std::size_t averaging_slots_used = 0;
+  /// Channels that produced no edges and were excluded from alignment.
+  std::vector<std::size_t> dead_channels;
+
+  [[nodiscard]] bool healthy() const {
+    return converged && dead_channels.empty();
+  }
+};
+
+/// Bring-up calibration that degrades gracefully instead of asserting:
+/// dead channels (no edges — all-lane stuck-at faults, unplugged parts)
+/// are detected, excluded from the alignment, and reported; when the
+/// residual misses the bound the procedure retries with doubled averaging
+/// up to max_attempts. The transmitter is left with the best programming
+/// of the final attempt. A dead clock channel aborts early (no timing
+/// reference to calibrate against) with converged = false.
+CalibrationOutcome calibrate_with_recovery(OpticalTransmitter& tx,
+                                           const CalibrationOptions& options = {});
 
 }  // namespace mgt::testbed

@@ -1,5 +1,7 @@
 #include "testbed/testbed.hpp"
 
+#include <array>
+
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -13,8 +15,10 @@ OpticalTestbed::OpticalTestbed(Config config, std::uint64_t seed)
           seed ^ 0x7E57BEDull),
       rx_(Receiver::Config{.format = config.format}),
       fabric_(vortex::Geometry::for_heights(config.ports, config.angles)),
-      path_(config.path) {
+      path_(config.path),
+      optics_faults_(config.faults.component("optics")) {
   MGT_CHECK(config_.signal_check_period >= 1);
+  fabric_.set_faults(config_.faults.component("fabric"));
   // One laser/detector pair per high-speed channel, on a WDM grid.
   for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
     vortex::LaserDriver::Config laser = config_.laser;
@@ -27,16 +31,33 @@ OpticalTestbed::OpticalTestbed(Config config, std::uint64_t seed)
 OpticalTestbed::SingleResult OpticalTestbed::send_one(
     const TestbedPacket& packet) {
   auto signals = tx_.transmit(packet, Picoseconds{0.0});
+  const std::uint64_t send_idx = sends_++;
 
   // E/O -> fiber -> O/E, per channel. Each WDM lane has its own laser and
   // detector (with their own Rng streams) and the fiber model is read-only,
-  // so the five conversions run concurrently.
+  // so the five conversions run concurrently. A dark channel — scheduled
+  // loss-of-signal or a detect() budget violation — is flatlined instead of
+  // aborting the transfer: the receiver keeps running degraded. Per-channel
+  // flags are reduced in channel order after the parallel section so the
+  // totals never depend on thread scheduling.
+  std::array<std::uint8_t, kHighSpeedChannels> dark{};
   util::parallel_for(kHighSpeedChannels, [&](std::size_t ch) {
     sig::EdgeStream& electrical =
         ch < kDataChannels ? signals.data[ch] : signals.clock;
+    if (optics_faults_.any(fault::FaultKind::kLossOfSignal) &&
+        optics_faults_.active(fault::FaultKind::kLossOfSignal, send_idx, ch)) {
+      electrical = sig::EdgeStream(false);
+      dark[ch] = 1;
+      return;
+    }
     const auto launched = lasers_[ch].modulate(electrical);
     const auto received = path_.propagate(launched);
-    electrical = detectors_[ch].detect(received);
+    try {
+      electrical = detectors_[ch].detect(received);
+    } catch (const RecoverableError&) {
+      electrical = sig::EdgeStream(false);
+      dark[ch] = 1;
+    }
   });
   // Frame/header ride the electrical sideband (lower speed, no optics in
   // the present test bed).
@@ -56,6 +77,9 @@ OpticalTestbed::SingleResult OpticalTestbed::send_one(
   out.frame_ok = result.frame_ok;
   out.captured = result.captured;
   out.header_ok = result.packet.header == packet.header;
+  for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
+    out.los_channels += dark[ch];
+  }
   if (result.captured) {
     for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
       out.payload_bit_errors +=
@@ -81,6 +105,7 @@ void OpticalTestbed::signal_check(const vortex::Packet& packet,
   const auto result = send_one(tb);
   ++stats.signal_checks;
   stats.payload_bit_errors += result.payload_bit_errors;
+  stats.los_events += result.los_channels;
   if (!result.header_ok) {
     ++stats.header_errors;
   }
@@ -127,7 +152,10 @@ OpticalTestbed::RunStats OpticalTestbed::run(double offered_load,
           rng_.below(config_.ports));
       p.payload = BitVector::random(
           kDataChannels * config_.format.data_bits, rng_);
-      fabric_.inject(std::move(p), port);
+      // A rejected injection is backpressure, not loss: the fabric counts
+      // it in stats().rejected_injections and the source simply offers new
+      // traffic next slot (ids are offered-traffic ids either way).
+      (void)fabric_.inject(std::move(p), port);
     }
     absorb(fabric_.step());
   }

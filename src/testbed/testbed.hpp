@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "core/presets.hpp"
+#include "fault/fault.hpp"
 #include "testbed/receiver.hpp"
 #include "testbed/transmitter.hpp"
 #include "vortex/fabric.hpp"
@@ -32,6 +33,11 @@ public:
     vortex::Photodetector::Config detector{};
     /// Every Nth delivered packet takes the full signal path (1 = all).
     std::size_t signal_check_period = 8;
+    /// Scheduled faults. Slices wired at construction: "fabric"
+    /// (kNodeFailure; index = flat node, tick = slot) and "optics"
+    /// (kLossOfSignal; index = high-speed channel, tick = send count).
+    /// The transmitter additionally consumes `channel.faults`.
+    fault::FaultPlan faults{};
   };
 
   OpticalTestbed(Config config, std::uint64_t seed);
@@ -44,6 +50,10 @@ public:
     bool captured = false;
     std::size_t payload_bit_errors = 0;
     bool header_ok = false;
+    /// High-speed channels that were dark for this transfer (scheduled
+    /// loss-of-signal or link budget below detector sensitivity). The
+    /// receiver sees a flatlined channel instead of the test aborting.
+    std::size_t los_channels = 0;
   };
 
   /// Sends one packet through TX -> E/O -> fiber -> O/E -> RX (no fabric
@@ -61,6 +71,8 @@ public:
     std::size_t payload_bit_errors = 0;
     std::size_t header_errors = 0;
     std::size_t frame_failures = 0;
+    /// Channel-transfers lost to loss-of-signal across all signal checks.
+    std::uint64_t los_events = 0;
     vortex::LinkBudget budget;
 
     [[nodiscard]] double payload_ber() const {
@@ -97,6 +109,8 @@ private:
   std::vector<vortex::LaserDriver> lasers_;      // one per high-speed channel
   std::vector<vortex::Photodetector> detectors_;
   vortex::OpticalPath path_;
+  fault::ComponentFaults optics_faults_;
+  std::uint64_t sends_ = 0;  // fault tick for "optics" LOS windows
   std::uint64_t next_packet_id_ = 1;
 };
 

@@ -1,5 +1,7 @@
 #include "testbed/transmitter.hpp"
 
+#include <string>
+
 #include "digital/bitstream.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -39,6 +41,12 @@ OpticalTransmitter::OpticalTransmitter(Config config, std::uint64_t seed)
         .delay = pecl::ProgrammableDelay(pecl::ProgrammableDelay::Config{},
                                          rng_.fork()),
     });
+    // Per-channel fault slices: "tx.ch<k>.serializer" / "tx.ch<k>.delay".
+    const std::string prefix = "tx.ch" + std::to_string(ch);
+    channels_.back().serializer.set_faults(
+        config_.channel.faults.component(prefix + ".serializer"));
+    channels_.back().delay.set_faults(
+        config_.channel.faults.component(prefix + ".delay"));
   }
 }
 

@@ -17,6 +17,23 @@ public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Exception for hardware-style failures a degraded-mode caller is expected
+/// to recover from: a dead channel at calibration, an optical link below
+/// sensitivity, a convergence loop that ran out of attempts. Carries the
+/// failing component's name so recovery code can attribute it in a
+/// HealthReport. Derives from Error, so callers that do not opt into
+/// recovery keep today's fail-fast behavior.
+class RecoverableError : public Error {
+public:
+  RecoverableError(std::string component, const std::string& what)
+      : Error(component + ": " + what), component_(std::move(component)) {}
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+private:
+  std::string component_;
+};
+
 namespace detail {
 [[noreturn]] inline void raise_check_failure(const char* cond,
                                              const std::string& msg,

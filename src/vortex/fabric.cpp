@@ -15,17 +15,56 @@ const std::optional<Packet>& DataVortex::slot_at(const NodeAddress& n) const {
   return nodes_[geometry_.flat_index(n)];
 }
 
+void DataVortex::set_faults(fault::ComponentFaults faults) {
+  faults_ = std::move(faults);
+}
+
+bool DataVortex::failed_at(std::size_t flat, std::uint64_t slot) const {
+  for (const fault::FaultSpec& spec : faults_.specs()) {
+    if (spec.kind != fault::FaultKind::kNodeFailure || !spec.active_at(slot)) {
+      continue;
+    }
+    if (spec.index == flat) {
+      return true;
+    }
+    if (spec.index == fault::FaultSpec::kAllIndices &&
+        faults_.rng(flat).uniform(0.0, 1.0) < spec.severity) {
+      // One uniform draw per node from a stream keyed on the node alone:
+      // the failed subset at severity s is nested inside the subset at any
+      // larger severity, making degradation monotonic.
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DataVortex::node_failed(const NodeAddress& n) const {
+  return faults_.any(fault::FaultKind::kNodeFailure) &&
+         failed_at(geometry_.flat_index(n), stats_.slots);
+}
+
 bool DataVortex::can_inject(std::size_t port) const {
   MGT_CHECK(port < geometry_.height_count, "input port out of range");
-  return !slot_at({0, injection_angle_, port}).has_value();
+  const NodeAddress entry{0, injection_angle_, port};
+  if (faults_.any(fault::FaultKind::kNodeFailure) &&
+      failed_at(geometry_.flat_index(entry), stats_.slots)) {
+    return false;
+  }
+  return !slot_at(entry).has_value();
 }
 
 bool DataVortex::inject(Packet packet, std::size_t port) {
   MGT_CHECK(port < geometry_.height_count, "input port out of range");
   MGT_CHECK(packet.destination < geometry_.height_count,
             "destination port out of range");
-  auto& entry = slot_at({0, injection_angle_, port});
-  if (entry.has_value()) {
+  const NodeAddress entry_node{0, injection_angle_, port};
+  auto& entry = slot_at(entry_node);
+  if (entry.has_value() ||
+      (faults_.any(fault::FaultKind::kNodeFailure) &&
+       failed_at(geometry_.flat_index(entry_node), stats_.slots))) {
+    // Backpressure, not loss: the packet never entered the fabric, so it
+    // is counted in rejected_injections only (never in injected), keeping
+    // attempts == injected + rejected_injections exact.
     ++stats_.rejected_injections;
     return false;
   }
@@ -42,6 +81,25 @@ std::vector<Delivery> DataVortex::step() {
   std::vector<Delivery> delivered;
   std::vector<bool> output_taken(geometry_.height_count, false);
   const std::size_t core = geometry_.cylinder_count - 1;
+
+  // Failed-node handling, fully skipped for a healthy fabric. The failed
+  // set is evaluated once per slot; packets caught inside a node that
+  // fails are lost (dropped), later moves route around the set.
+  const bool faulty = faults_.any(fault::FaultKind::kNodeFailure);
+  std::vector<char> failed;
+  if (faulty) {
+    failed.resize(nodes_.size(), 0);
+    for (std::size_t flat = 0; flat < nodes_.size(); ++flat) {
+      failed[flat] = failed_at(flat, stats_.slots) ? 1 : 0;
+      if (failed[flat] != 0 && nodes_[flat].has_value()) {
+        nodes_[flat].reset();
+        ++stats_.dropped;
+      }
+    }
+  }
+  auto is_failed = [&](const NodeAddress& n) {
+    return faulty && failed[geometry_.flat_index(n)] != 0;
+  };
 
   // Innermost cylinder first: circulating traffic claims its next node
   // before any descent from the cylinder outside it is evaluated, which is
@@ -70,7 +128,13 @@ std::vector<Delivery> DataVortex::step() {
             // Output contention: spiral another lap (virtual buffering).
             ++p.deflections;
             ++stats_.deflections;
-            auto& target = next[geometry_.flat_index(geometry_.hop(here))];
+            const NodeAddress lap = geometry_.hop(here);
+            if (is_failed(lap)) {
+              // The only legal move leads into a dead node: packet lost.
+              ++stats_.dropped;
+              continue;
+            }
+            auto& target = next[geometry_.flat_index(lap)];
             MGT_CHECK(!target.has_value(), "core lap collision");
             target = std::move(p);
           }
@@ -81,16 +145,29 @@ std::vector<Delivery> DataVortex::step() {
             geometry_.height_bit(h, ci) ==
             p.header_bit(ci, geometry_.address_bits);
         if (may_descend) {
-          auto& down = next[geometry_.flat_index(geometry_.descend(here))];
-          if (!down.has_value()) {
-            down = std::move(p);
-            continue;
+          const NodeAddress below = geometry_.descend(here);
+          if (is_failed(below)) {
+            // Reroute around the failed inner node: deflect and keep
+            // spiraling; a later angle offers another descent chance.
+            ++p.deflections;
+            ++stats_.deflections;
+          } else {
+            auto& down = next[geometry_.flat_index(below)];
+            if (!down.has_value()) {
+              down = std::move(p);
+              continue;
+            }
+            // Blocked by traffic in the inner cylinder: deflect.
+            ++p.deflections;
+            ++stats_.deflections;
           }
-          // Blocked by traffic in the inner cylinder: deflect.
-          ++p.deflections;
-          ++stats_.deflections;
         }
-        auto& around = next[geometry_.flat_index(geometry_.hop(here))];
+        const NodeAddress lap = geometry_.hop(here);
+        if (is_failed(lap)) {
+          ++stats_.dropped;
+          continue;
+        }
+        auto& around = next[geometry_.flat_index(lap)];
         MGT_CHECK(!around.has_value(), "cylinder lap collision");
         around = std::move(p);
       }

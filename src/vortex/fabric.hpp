@@ -11,22 +11,29 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "vortex/node.hpp"
 #include "vortex/packet.hpp"
 
 namespace mgt::vortex {
 
-/// Aggregate fabric statistics.
+/// Aggregate fabric statistics. Accounting invariant (checked by the
+/// regression tests): every accepted packet is eventually exactly one of
+/// delivered, dropped, or still in flight, and every offered packet is
+/// either accepted or rejected — so
+///   attempts  == injected + rejected_injections
+///   injected  == delivered + dropped + in_flight()
 struct FabricStats {
   std::uint64_t slots = 0;
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t rejected_injections = 0;  // input blocked (node occupied)
+  std::uint64_t rejected_injections = 0;  // input blocked (node occupied/failed)
+  std::uint64_t dropped = 0;              // lost to failed nodes
   std::uint64_t deflections = 0;          // non-progress moves
   std::uint64_t hops = 0;
 
   [[nodiscard]] std::uint64_t in_flight() const {
-    return injected - delivered;
+    return injected - delivered - dropped;
   }
 };
 
@@ -47,6 +54,19 @@ public:
   /// True when input `port`'s entry node is free this slot.
   [[nodiscard]] bool can_inject(std::size_t port) const;
 
+  /// Attaches this fabric's fault slice (kind kNodeFailure; index = flat
+  /// node index or kAllIndices with severity = failed fraction; tick =
+  /// packet slot). The fabric reroutes around failed nodes: descents into
+  /// them deflect, injection at a failed entry is rejected, and packets
+  /// with no surviving move are dropped and accounted in stats().dropped.
+  void set_faults(fault::ComponentFaults faults);
+  [[nodiscard]] const fault::ComponentFaults& faults() const { return faults_; }
+
+  /// True when node `n` is failed in the current slot. The severity-
+  /// selected subsets are nested: every node failed at severity s is also
+  /// failed at any s' > s, so degradation is monotonic in severity.
+  [[nodiscard]] bool node_failed(const NodeAddress& n) const;
+
   /// Advances one packet slot; returns the packets delivered this slot.
   std::vector<Delivery> step();
 
@@ -65,9 +85,13 @@ private:
   [[nodiscard]] std::optional<Packet>& slot_at(const NodeAddress& n);
   [[nodiscard]] const std::optional<Packet>& slot_at(const NodeAddress& n) const;
 
+  /// True when the flat node index is failed at `slot`.
+  [[nodiscard]] bool failed_at(std::size_t flat, std::uint64_t slot) const;
+
   Geometry geometry_;
   std::vector<std::optional<Packet>> nodes_;
   FabricStats stats_;
+  fault::ComponentFaults faults_;
   std::size_t injection_angle_ = 0;
 };
 

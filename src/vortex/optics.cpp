@@ -57,7 +57,10 @@ bool Photodetector::detects(const OpticalStream& in) const {
 
 sig::EdgeStream Photodetector::detect(const OpticalStream& in) {
   if (!detects(in)) {
-    throw Error("optical power below detector sensitivity: link budget");
+    // Recoverable: a receiver can squelch the channel and keep running in
+    // a degraded mode instead of tearing the whole test down.
+    throw RecoverableError(
+        "detector", "optical power below sensitivity: link budget");
   }
   return delay_and_jitter(in.edges, config_.prop_delay, config_.rj_sigma,
                           rng_);

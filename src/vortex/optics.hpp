@@ -85,8 +85,9 @@ public:
   /// True when the stream's power clears the sensitivity floor.
   [[nodiscard]] bool detects(const OpticalStream& in) const;
 
-  /// Recovers the electrical signal; throws mgt::Error when the optical
-  /// power is below sensitivity (link budget violated).
+  /// Recovers the electrical signal; throws mgt::RecoverableError (an
+  /// mgt::Error) when the optical power is below sensitivity (link budget
+  /// violated) so callers may squelch the channel and continue degraded.
   sig::EdgeStream detect(const OpticalStream& in);
 
 private:

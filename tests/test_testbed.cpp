@@ -14,6 +14,7 @@ namespace {
 
 using mgt::BitVector;
 using mgt::Error;
+using mgt::RecoverableError;
 using mgt::Rng;
 
 TestbedPacket random_packet(Rng& rng) {
@@ -247,13 +248,27 @@ TEST(OpticalTestbed, RunDeliversEverythingErrorFree) {
   EXPECT_GT(stats.budget.margin_db(), 3.0);  // healthy optical link
 }
 
-TEST(OpticalTestbed, LinkBudgetFailureIsDetected) {
+TEST(OpticalTestbed, LinkBudgetFailureDegradesInsteadOfThrowing) {
   OpticalTestbed::Config config;
   config.path.fiber_length_m = 100000.0;  // 100 km of fiber: hopeless
   config.path.fiber_loss_db_per_km = 0.25;
   OpticalTestbed tb(config, 20);
   Rng rng(21);
-  EXPECT_THROW(tb.send_one(random_packet(rng)), Error);
+  // Every channel goes dark, but the transfer completes in degraded mode:
+  // nothing captured, every payload bit counted as an error.
+  const auto result = tb.send_one(random_packet(rng));
+  EXPECT_EQ(result.los_channels, kHighSpeedChannels);
+  EXPECT_FALSE(result.captured);
+  EXPECT_EQ(result.payload_bit_errors, kDataChannels * SlotFormat{}.data_bits);
+}
+
+TEST(OpticalTestbed, DetectorStillThrowsRecoverableErrorDirectly) {
+  // The underlying contract is unchanged for direct users: a budget
+  // violation at the detector is a RecoverableError (and an Error).
+  vortex::Photodetector detector(vortex::Photodetector::Config{}, Rng(5));
+  vortex::OpticalStream weak;
+  weak.power_dbm = -40.0;
+  EXPECT_THROW(detector.detect(weak), RecoverableError);
 }
 
 }  // namespace

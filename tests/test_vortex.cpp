@@ -217,6 +217,52 @@ TEST(Fabric, InjectionBackpressure) {
   EXPECT_TRUE(fabric.can_inject(0));
 }
 
+TEST(Fabric, BackpressureAccountingStaysExactUnderSustainedFullLoad) {
+  // Regression for the inject/stats contract: offer a packet at EVERY port
+  // on EVERY slot (sustained saturation, far past the fabric's capacity)
+  // and require the books to balance the whole way through:
+  //   attempts == injected + rejected_injections   (nothing vanishes at
+  //                                                 the input)
+  //   injected == delivered + dropped + occupancy  (nothing vanishes
+  //                                                 inside)
+  DataVortex fabric(Geometry::for_heights(16, 4));
+  Rng rng(23);
+  std::uint64_t attempts = 0;
+  std::uint64_t accepted = 0;
+  std::vector<Delivery> deliveries;
+  for (int slot = 0; slot < 300; ++slot) {
+    for (std::size_t port = 0; port < 16; ++port) {
+      Packet p;
+      p.id = attempts + 1;
+      p.destination = static_cast<std::uint32_t>(rng.below(16));
+      ++attempts;
+      if (fabric.inject(std::move(p), port)) {
+        ++accepted;
+      }
+    }
+    auto out = fabric.step();
+    deliveries.insert(deliveries.end(), out.begin(), out.end());
+    // The invariants hold at every slot boundary, not just at the end.
+    const FabricStats& s = fabric.stats();
+    ASSERT_EQ(attempts, s.injected + s.rejected_injections) << slot;
+    ASSERT_EQ(s.injected, s.delivered + s.dropped + fabric.occupancy())
+        << slot;
+    ASSERT_EQ(s.in_flight(), fabric.occupancy()) << slot;
+  }
+  ASSERT_TRUE(fabric.drain(deliveries, 10000));
+
+  const FabricStats& stats = fabric.stats();
+  EXPECT_EQ(stats.injected, accepted);
+  EXPECT_EQ(attempts, stats.injected + stats.rejected_injections);
+  // Saturation must actually exercise backpressure...
+  EXPECT_GT(stats.rejected_injections, 0u);
+  // ...and a healthy fabric never drops: every accepted packet comes out.
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.delivered, accepted);
+  EXPECT_EQ(deliveries.size(), accepted);
+  EXPECT_EQ(fabric.occupancy(), 0u);
+}
+
 TEST(Fabric, InvalidPortsThrow) {
   DataVortex fabric(Geometry::for_heights(8, 4));
   Packet p;

@@ -374,9 +374,73 @@ private:
       report(i, rules::kUsingNamespace,
              "'using namespace' in a header pollutes every includer");
     }
+    if (t.text == "catch" && next_is(i, "(") && in_src(kind_)) {
+      check_catch(i);
+    }
     if (!class_stack_.empty() && t.text == class_stack_.back().name &&
         next_is(i, "(") && brace_depth_ == class_stack_.back().member_depth) {
       check_ctor(i);
+    }
+  }
+
+  /// catch clause in src/: the handler must not swallow the exception
+  /// silently (empty body) and must not catch by value (slicing loses the
+  /// derived type, e.g. RecoverableError decays to Error).
+  void check_catch(std::size_t i) {
+    // Parse the exception declaration between the parens.
+    std::size_t j = i + 1;  // at '('
+    int depth = 0;
+    bool by_reference = false;
+    for (; j < size(); ++j) {
+      const std::string_view x = tok(j).text;
+      if (x == "(") {
+        ++depth;
+        continue;
+      }
+      if (x == ")") {
+        if (--depth == 0) {
+          break;
+        }
+        continue;
+      }
+      // `...` lexes as three '.' puncts; pointers are odd but don't slice.
+      if (x == "." || x == "&" || x == "*") {
+        by_reference = true;
+      }
+    }
+    if (!by_reference) {
+      report(i, rules::kCatchByValue,
+             "catching an exception by value slices the object; catch by "
+             "const reference");
+    }
+    // Body: an empty brace pair (comments are stripped by the lexer) means
+    // the exception vanishes without a trace.
+    std::size_t k = j + 1;  // expected '{'
+    if (k >= size() || tok(k).text != "{") {
+      return;  // malformed or macro trickery; leave it to the compiler
+    }
+    int braces = 0;
+    std::size_t body_tokens = 0;
+    for (; k < size(); ++k) {
+      const std::string_view x = tok(k).text;
+      if (x == "{") {
+        ++braces;
+        continue;
+      }
+      if (x == "}") {
+        if (--braces == 0) {
+          break;
+        }
+        continue;
+      }
+      if (braces >= 1) {
+        ++body_tokens;
+      }
+    }
+    if (body_tokens == 0) {
+      report(i, rules::kCatchIgnore,
+             "empty catch block swallows the exception; record or translate "
+             "the failure (or suppress with mgtlint:allow)");
     }
   }
 
@@ -610,6 +674,7 @@ const std::vector<std::string_view>& all_rules() {
       rules::kWallClock,      rules::kUnorderedIter,
       rules::kUnitDouble,     rules::kFloat,     rules::kAssert,
       rules::kUsingNamespace, rules::kExplicitCtor,
+      rules::kCatchIgnore,    rules::kCatchByValue,
   };
   return kRules;
 }

@@ -54,6 +54,8 @@ inline constexpr std::string_view kFloat = "no-float";
 inline constexpr std::string_view kAssert = "no-assert";
 inline constexpr std::string_view kUsingNamespace = "no-using-namespace-header";
 inline constexpr std::string_view kExplicitCtor = "explicit-ctor";
+inline constexpr std::string_view kCatchIgnore = "no-catch-ignore";
+inline constexpr std::string_view kCatchByValue = "catch-by-reference";
 }  // namespace rules
 
 /// All rule ids, for --list-rules and the fixture suite.

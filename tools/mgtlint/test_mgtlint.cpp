@@ -319,6 +319,76 @@ TEST(MgtlintContracts, NestedClassTracking) {
                     "explicit-ctor"));
 }
 
+TEST(MgtlintContracts, EmptyCatchBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f() {
+      try { g(); } catch (...) {}
+    }
+  )",
+                    "no-catch-ignore"));
+  // A comment is not handling: the lexer strips it, the body stays empty.
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f() {
+      try { g(); } catch (const Error&) { /* best effort */ }
+    }
+  )",
+                    "no-catch-ignore"));
+}
+
+TEST(MgtlintContracts, NonEmptyCatchAndAllowlistedFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f() {
+      try { g(); } catch (const Error& e) { ++failures; }
+    }
+  )",
+                     "no-catch-ignore"));
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f() {
+      // mgtlint:allow(no-catch-ignore)
+      try { g(); } catch (...) {}
+    }
+  )",
+                     "no-catch-ignore"));
+  // Outside src/ the rule stays quiet (tests legitimately probe throws).
+  EXPECT_FALSE(fires("tests/a.cpp", R"(
+    void f() {
+      try { g(); } catch (...) {}
+    }
+  )",
+                     "no-catch-ignore"));
+}
+
+TEST(MgtlintContracts, CatchByValueBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f() {
+      try { g(); } catch (Error e) { log(e); }
+    }
+  )",
+                    "catch-by-reference"));
+}
+
+TEST(MgtlintContracts, CatchByReferenceEllipsisAndAllowlistedFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f() {
+      try { g(); } catch (const Error& e) { log(e); }
+    }
+  )",
+                     "catch-by-reference"));
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f() {
+      try { g(); } catch (...) { ++failures; }
+    }
+  )",
+                     "catch-by-reference"));
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f() {
+      // mgtlint:allow(catch-by-reference)
+      try { g(); } catch (Error e) { log(e); }
+    }
+  )",
+                     "catch-by-reference"));
+}
+
 // ------------------------------------------------------------------ lexer --
 
 TEST(MgtlintLexer, StringsCommentsAndIncludesAreSkipped) {
@@ -376,7 +446,7 @@ TEST(MgtlintMisc, ClassifyPath) {
 
 TEST(MgtlintMisc, AllRulesListsEveryRuleOnce) {
   const auto& rules = mgtlint::all_rules();
-  EXPECT_EQ(rules.size(), 10u);
+  EXPECT_EQ(rules.size(), 12u);
   for (const auto rule : rules) {
     EXPECT_EQ(std::count(rules.begin(), rules.end(), rule), 1)
         << std::string(rule);
