@@ -1,0 +1,118 @@
+// Link-layer recovery: residual FER after ARQ versus injected severity.
+//
+// The robustness headline of the link layer: walk the per-bit corruption
+// severity of the forward channel from healthy to heavily damaged and chart
+// raw (on-the-wire) frame error rate against residual (post-ARQ) frame
+// error rate. The reproduction table asserts the layer's three contracts —
+// exact accounting at every point, residual strictly below raw wherever the
+// channel injects damage, and a zero-cost clean path — then google-benchmark
+// times a full transfer at a moderate severity and on the clean channel.
+#include <vector>
+
+#include "analysis/faultsweep.hpp"
+#include "bench_common.hpp"
+#include "fault/fault.hpp"
+#include "link/link.hpp"
+#include "util/rng.hpp"
+
+using namespace mgt;
+
+namespace {
+
+constexpr std::size_t kPayloads = 48;
+
+fault::FaultPlan make_plan(double severity) {
+  fault::FaultPlan plan(707);
+  plan.schedule({.kind = fault::FaultKind::kFrameCorruption,
+                 .component = "link.fwd",
+                 .severity = severity});
+  return plan;
+}
+
+link::LinkChannel make_channel(const fault::FaultPlan& plan) {
+  link::ArqConfig arq;
+  arq.max_retries = 6;
+  link::LinkChannel::Config config;
+  config.arq = arq;
+  return link::LinkChannel(config,
+                           link::make_fault_transport(plan, "link.fwd"),
+                           link::make_fault_transport(plan, "link.rev"));
+}
+
+std::vector<BitVector> make_payloads(std::size_t user_bits) {
+  Rng rng(33);
+  std::vector<BitVector> payloads;
+  payloads.reserve(kPayloads);
+  for (std::size_t i = 0; i < kPayloads; ++i) {
+    payloads.push_back(BitVector::random(user_bits, rng));
+  }
+  return payloads;
+}
+
+ana::LinkSweepPoint measure_at(double severity) {
+  const fault::FaultPlan plan = make_plan(severity);
+  link::LinkChannel channel = make_channel(plan);
+  (void)channel.transfer(make_payloads(channel.codec().user_bits()));
+  const link::LinkStats stats = channel.stats();
+  ana::LinkSweepPoint point;
+  point.raw_fer = stats.raw_fer();
+  point.residual_fer = stats.residual_fer();
+  point.offered = stats.offered;
+  point.delivered = stats.delivered;
+  point.abandoned = stats.abandoned;
+  point.retransmissions = stats.retransmissions;
+  return point;
+}
+
+void run_reproduction(ReportTable& table) {
+  const std::vector<double> severities{0.0, 0.001, 0.003, 0.005, 0.01};
+  const auto sweep = ana::link_fault_sweep(severities, measure_at);
+
+  for (const auto& point : sweep) {
+    table.add_comparison(
+        "FER @ severity " + fmt(point.severity, 3),
+        point.severity == 0.0 ? "0 raw, 0 residual" : "residual < raw",
+        "raw " + fmt(point.raw_fer, 3) + " -> residual " +
+            fmt(point.residual_fer, 3) + " (" +
+            std::to_string(point.retransmissions) + " retx)",
+        point.accounting_closed() ? "" : "ACCOUNTING BROKEN");
+  }
+  const bool holds = ana::residual_below_raw(sweep);
+  table.add_comparison("ARQ recovery", "residual strictly below raw",
+                       holds ? "residual < raw at every severity"
+                             : "RESIDUAL NOT BELOW RAW",
+                       holds ? "OK (retries mask the channel)" : "DEVIATES");
+}
+
+// Timing: a full 48-payload transfer over a channel damaging roughly a
+// third of all frames (per-bit severity 0.003 over ~132 frame bits).
+void bm_transfer_corrupted(benchmark::State& state) {
+  const fault::FaultPlan plan = make_plan(0.003);
+  for (auto _ : state) {
+    link::LinkChannel channel = make_channel(plan);
+    benchmark::DoNotOptimize(
+        channel.transfer(make_payloads(channel.codec().user_bits())));
+  }
+}
+BENCHMARK(bm_transfer_corrupted)->Unit(benchmark::kMillisecond);
+
+// Timing: the empty-plan guarantee — same transfer, no scheduled faults.
+// The delta against bm_transfer_corrupted is the whole cost of recovery.
+void bm_transfer_clean(benchmark::State& state) {
+  const fault::FaultPlan empty;
+  for (auto _ : state) {
+    link::LinkChannel channel = make_channel(empty);
+    benchmark::DoNotOptimize(
+        channel.transfer(make_payloads(channel.codec().user_bits())));
+  }
+}
+BENCHMARK(bm_transfer_clean)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = bench::make_table(
+      "Link recovery: residual FER after bounded ARQ vs injected severity");
+  run_reproduction(table);
+  return bench::finish(table, argc, argv);
+}

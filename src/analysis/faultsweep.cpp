@@ -37,4 +37,38 @@ bool ber_monotonic_nondecreasing(const std::vector<FaultSweepPoint>& sweep,
   return true;
 }
 
+std::vector<LinkSweepPoint> link_fault_sweep(
+    const std::vector<double>& severities, const LinkRunner& run) {
+  MGT_CHECK(static_cast<bool>(run), "link_fault_sweep needs a runner");
+  std::vector<LinkSweepPoint> sweep;
+  sweep.reserve(severities.size());
+  for (const double severity : severities) {
+    MGT_CHECK(severity >= 0.0 && severity <= 1.0,
+              "fault severity must be in [0, 1]");
+    LinkSweepPoint point = run(severity);
+    point.severity = severity;
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+bool residual_below_raw(const std::vector<LinkSweepPoint>& sweep) {
+  for (const LinkSweepPoint& p : sweep) {
+    if (!p.accounting_closed()) {
+      return false;
+    }
+    if (p.severity == 0.0 || p.raw_fer == 0.0) {
+      // A clean channel must stay clean end to end.
+      if (p.residual_fer != 0.0 || p.raw_fer != 0.0) {
+        return false;
+      }
+      continue;
+    }
+    if (p.residual_fer >= p.raw_fer) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace mgt::ana

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -47,5 +48,41 @@ std::vector<FaultSweepPoint> fault_sweep(const std::vector<double>& severities,
 /// (absolute BER slack for counting noise at low error counts).
 bool ber_monotonic_nondecreasing(const std::vector<FaultSweepPoint>& sweep,
                                  double tolerance = 0.0);
+
+/// One point of a link-layer fault sweep: how much of the injected frame
+/// damage the ARQ masked at this severity. `raw_fer` is the per-transmission
+/// damage rate on the wire; `residual_fer` is what the upper layer actually
+/// lost after bounded retransmission.
+struct LinkSweepPoint {
+  double severity = 0.0;
+  double raw_fer = 0.0;
+  double residual_fer = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t retransmissions = 0;
+
+  /// Exact accounting must close at every point.
+  [[nodiscard]] bool accounting_closed() const {
+    return offered == delivered + abandoned;
+  }
+};
+
+/// Runs one full link transfer at a given severity. The runner owns the
+/// rebuild-and-transfer cycle (fresh LinkChannel over a severity-scaled
+/// FaultPlan, offer a payload stream, read stats()) so the sweep stays
+/// agnostic of transport and protocol configuration.
+using LinkRunner = std::function<LinkSweepPoint(double severity)>;
+
+/// Sweeps `severities` through the link runner.
+std::vector<LinkSweepPoint> link_fault_sweep(
+    const std::vector<double>& severities, const LinkRunner& run);
+
+/// The ARQ acceptance property: at every nonzero-severity point the sweep's
+/// residual (post-ARQ) FER is strictly below the raw injected FER, and the
+/// offered == delivered + abandoned accounting closes everywhere. Points
+/// where the channel injected no damage at all (raw_fer == 0) must also be
+/// residual-free.
+bool residual_below_raw(const std::vector<LinkSweepPoint>& sweep);
 
 }  // namespace mgt::ana

@@ -103,7 +103,7 @@ public:
   /// per-component status. Diagnostic stimulus consumes serializer/clock
   /// RNG draws, like a real self-test cycle perturbs the hardware state;
   /// run it before, not between, golden acquisitions.
-  fault::HealthReport self_test();
+  [[nodiscard]] fault::HealthReport self_test();
 
   // -- Scope-style measurements (each generates a fresh acquisition) ------
 

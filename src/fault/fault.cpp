@@ -41,6 +41,10 @@ std::string_view to_string(FaultKind kind) {
       return "dead-pin";
     case FaultKind::kProbeContactLoss:
       return "probe-contact-loss";
+    case FaultKind::kFrameCorruption:
+      return "frame-corruption";
+    case FaultKind::kSyncLoss:
+      return "sync-loss";
   }
   return "unknown";
 }

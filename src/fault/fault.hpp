@@ -35,6 +35,8 @@ enum class FaultKind {
   kNodeFailure,       // vortex fabric node dead (packets rerouted/dropped)
   kDeadPin,           // mini-tester pin driver/receiver dead
   kProbeContactLoss,  // probe-card contact lifted at a die site
+  kFrameCorruption,   // link-layer bit flips (severity = flip probability)
+  kSyncLoss,          // frame-bit violation forcing receiver resync
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);

@@ -1,0 +1,33 @@
+#include "link/arq.hpp"
+
+namespace mgt::link {
+
+std::uint64_t ArqReceiver::reconstruct(std::uint8_t wire_seq) const {
+  // Modular distance from the expectation's low byte. Deltas in the front
+  // half of the sequence space are "at or ahead of" the expectation, the
+  // back half is "behind" (duplicates of already-acked frames).
+  const std::uint8_t delta =
+      static_cast<std::uint8_t>(wire_seq - (expected_ & 0xFFu));
+  if (delta < 128) {
+    return expected_ + delta;
+  }
+  const std::uint64_t back = 256u - delta;
+  // A duplicate from before the stream started cannot exist; clamp so the
+  // verdict degrades to "duplicate" rather than underflowing.
+  return expected_ >= back ? expected_ - back : 0;
+}
+
+ArqReceiver::Verdict ArqReceiver::on_data(std::uint64_t full_seq) {
+  Verdict v;
+  if (full_seq == expected_) {
+    v.deliver = true;
+    ++expected_;
+  } else if (full_seq < expected_) {
+    v.duplicate = true;
+  } else {
+    v.gap = true;  // an earlier frame of the window was ruined
+  }
+  return v;
+}
+
+}  // namespace mgt::link

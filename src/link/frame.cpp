@@ -1,0 +1,112 @@
+#include "link/frame.hpp"
+
+#include "util/error.hpp"
+
+namespace mgt::link {
+
+namespace {
+
+/// Flattens the four payload lanes lane-major into one wire BitVector.
+BitVector flatten(const testbed::TestbedPacket& packet,
+                  std::size_t data_bits) {
+  BitVector flat(testbed::kDataChannels * data_bits);
+  for (std::size_t ch = 0; ch < testbed::kDataChannels; ++ch) {
+    for (std::size_t k = 0; k < data_bits; ++k) {
+      flat.set(ch * data_bits + k, packet.payload[ch].get(k));
+    }
+  }
+  return flat;
+}
+
+/// Header-integrity CRC input: the 4-bit control nibble then the 8-bit
+/// wire sequence, in wire order.
+BitVector header_crc_input(std::uint8_t nibble, std::uint8_t wire_seq) {
+  BitVector in = pack_bits(nibble, 4);
+  in.append(pack_bits(wire_seq, 8));
+  return in;
+}
+
+}  // namespace
+
+std::string_view to_string(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kIdle:
+      return "idle";
+    case FrameKind::kData:
+      return "data";
+    case FrameKind::kAck:
+      return "ack";
+    case FrameKind::kNak:
+      return "nak";
+  }
+  return "unknown";
+}
+
+FrameCodec::FrameCodec(testbed::SlotFormat format) : format_(format) {
+  format_.validate();
+  const std::size_t capacity = testbed::kDataChannels * format_.data_bits;
+  MGT_CHECK(capacity > kFrameOverheadBits,
+            "slot payload capacity (" + std::to_string(capacity) +
+                " bits) must exceed the frame overhead (" +
+                std::to_string(kFrameOverheadBits) + " bits)");
+  user_bits_ = capacity - kFrameOverheadBits;
+}
+
+testbed::TestbedPacket FrameCodec::encode(const LinkFrame& frame) const {
+  BitVector user = frame.payload;
+  if (frame.kind == FrameKind::kData) {
+    MGT_CHECK(user.size() == user_bits_,
+              "data frame payload must be exactly user_bits() long");
+  } else {
+    MGT_CHECK(user.size() <= user_bits_,
+              "control frame payload exceeds user_bits()");
+    while (user.size() < user_bits_) {
+      user.push_back(false);
+    }
+  }
+
+  const auto wire_seq = static_cast<std::uint8_t>(frame.seq & 0xFFu);
+  const std::uint8_t nibble = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(frame.kind) & 0x3u) |
+      ((wire_seq & 0x3u) << 2));
+
+  BitVector flat = user;
+  flat.append(pack_bits(wire_seq, 8));
+  flat.append(pack_bits(crc8(header_crc_input(nibble, wire_seq)), 8));
+  flat.append(pack_bits(crc16(user), 16));
+
+  testbed::TestbedPacket packet;
+  packet.header = nibble;
+  for (std::size_t ch = 0; ch < testbed::kDataChannels; ++ch) {
+    packet.payload[ch] = flat.slice(ch * format_.data_bits, format_.data_bits);
+  }
+  return packet;
+}
+
+FrameCodec::Decoded FrameCodec::decode(
+    const testbed::TestbedPacket& packet) const {
+  for (const auto& lane : packet.payload) {
+    MGT_CHECK(lane.size() == format_.data_bits,
+              "decode: payload lane length must equal data_bits");
+  }
+  const BitVector flat = flatten(packet, format_.data_bits);
+
+  Decoded out;
+  const std::size_t u = user_bits_;
+  const auto wire_seq = static_cast<std::uint8_t>(unpack_bits(flat, u, 8));
+  const auto crc8_rx = static_cast<std::uint8_t>(unpack_bits(flat, u + 8, 8));
+  const auto crc16_rx =
+      static_cast<std::uint16_t>(unpack_bits(flat, u + 16, 16));
+
+  const std::uint8_t nibble = packet.header & 0xFu;
+  out.header_ok = crc8(header_crc_input(nibble, wire_seq)) == crc8_rx &&
+                  ((wire_seq & 0x3u) == ((nibble >> 2) & 0x3u));
+
+  out.frame.kind = static_cast<FrameKind>(nibble & 0x3u);
+  out.frame.seq = wire_seq;
+  out.frame.payload = flat.slice(0, u);
+  out.payload_ok = crc16(out.frame.payload) == crc16_rx;
+  return out;
+}
+
+}  // namespace mgt::link

@@ -1,0 +1,78 @@
+// Link-frame codec over the Fig 4 slot format.
+//
+// A LinkFrame rides one TestbedPacket: the four header channels carry the
+// frame's control nibble (2-bit kind + the sequence number's low two bits,
+// so sequence information is visible on the slow header lanes exactly as
+// the slot format intends), and the four payload lanes carry, flattened
+// lane-major into 4 * data_bits wire bits:
+//
+//   [0, U)        user payload (U = 4*data_bits - 32)
+//   [U, U+8)      8-bit wire sequence number
+//   [U+8, U+16)   CRC-8 over control nibble + sequence (header integrity)
+//   [U+16, U+32)  CRC-16-CCITT over the user payload (payload integrity)
+//
+// The codec is pure and deterministic: encode/decode are exact inverses on
+// an unfaulted channel, and any single corrupted region is flagged by the
+// CRC that covers it.
+#pragma once
+
+#include <cstdint>
+
+#include "link/crc.hpp"
+#include "testbed/framing.hpp"
+
+namespace mgt::link {
+
+/// Frame kinds on the wire (2 bits). kIdle doubles as "undecodable".
+enum class FrameKind : std::uint8_t {
+  kIdle = 0,  // guard/training slot; carries no protected content
+  kData = 1,
+  kAck = 2,
+  kNak = 3,
+};
+
+[[nodiscard]] std::string_view to_string(FrameKind kind);
+
+/// One protocol frame before encoding / after decoding.
+struct LinkFrame {
+  FrameKind kind = FrameKind::kData;
+  /// Full sequence number; only the low 8 bits travel on the wire (the
+  /// receiver reconstructs the rest from its in-order expectation).
+  std::uint64_t seq = 0;
+  /// User payload for kData (codec.user_bits() long); for kAck/kNak the
+  /// field carries the cumulative acknowledgment (see ArqReceiver).
+  BitVector payload;
+};
+
+/// Bits of frame overhead appended after the user payload.
+inline constexpr std::size_t kFrameOverheadBits = 8 + 8 + 16;
+
+class FrameCodec {
+public:
+  /// Validates the format; requires 4*data_bits > kFrameOverheadBits.
+  explicit FrameCodec(testbed::SlotFormat format);
+
+  /// User payload capacity per frame in bits.
+  [[nodiscard]] std::size_t user_bits() const { return user_bits_; }
+  [[nodiscard]] const testbed::SlotFormat& format() const { return format_; }
+
+  /// Encodes a frame into a slot packet. kData frames must carry exactly
+  /// user_bits() of payload; kAck/kNak/kIdle payloads are zero-padded.
+  [[nodiscard]] testbed::TestbedPacket encode(const LinkFrame& frame) const;
+
+  /// Decode verdict: the frame plus which protection domains held.
+  struct Decoded {
+    LinkFrame frame;
+    bool header_ok = false;   // CRC-8 over control nibble + sequence
+    bool payload_ok = false;  // CRC-16 over user payload
+    [[nodiscard]] bool ok() const { return header_ok && payload_ok; }
+  };
+
+  [[nodiscard]] Decoded decode(const testbed::TestbedPacket& packet) const;
+
+private:
+  testbed::SlotFormat format_;
+  std::size_t user_bits_ = 0;
+};
+
+}  // namespace mgt::link

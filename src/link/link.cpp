@@ -1,0 +1,357 @@
+#include "link/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mgt::link {
+
+LinkChannel::LinkChannel(Config config, Transport forward, Transport reverse)
+    : config_(config),
+      codec_(config.format),
+      forward_(std::move(forward)),
+      reverse_(std::move(reverse)),
+      sync_(config.sync),
+      rx_(config.arq.window) {
+  config_.format.validate();
+  config_.arq.validate();
+  MGT_CHECK(static_cast<bool>(forward_), "LinkChannel needs a forward transport");
+  MGT_CHECK(static_cast<bool>(reverse_), "LinkChannel needs a reverse transport");
+  MGT_CHECK(config_.degrade_fer_threshold >= 0.0 &&
+                config_.degrade_fer_threshold <= 1.0,
+            "degrade_fer_threshold must be in [0, 1]");
+}
+
+double LinkChannel::margin() const {
+  return std::ldexp(1.0, -static_cast<int>(rate_steps_));
+}
+
+Picoseconds LinkChannel::current_ui() const {
+  return Picoseconds{config_.format.ui.ps() *
+                     std::ldexp(1.0, static_cast<int>(rate_steps_))};
+}
+
+GbitsPerSec LinkChannel::current_rate() const {
+  return GbitsPerSec::from_ui(current_ui());
+}
+
+void LinkChannel::deliver_to_rx(const LinkFrame& frame) {
+  const TransferOutcome out =
+      forward_(codec_.encode(frame), tick_++, margin());
+  if (!sync_.engaged()) {
+    // A hunting receiver sees only energy where the guard pattern should
+    // be dark — the frame is lost and the hunt resets.
+    ++stats_.frames_lost_hunting;
+    sync_.observe_guard(false);
+    return;
+  }
+  if (!out.captured || !out.frame_ok) {
+    ++stats_.integrity_failures;
+    sync_.observe_bad_frame();
+    return;
+  }
+  const FrameCodec::Decoded dec = codec_.decode(out.packet);
+  if (!dec.ok() || dec.frame.kind != FrameKind::kData) {
+    ++stats_.integrity_failures;
+    sync_.observe_bad_frame();
+    return;
+  }
+  sync_.observe_good_frame();
+  const std::uint64_t full = rx_.reconstruct(
+      static_cast<std::uint8_t>(dec.frame.seq & 0xFFu));
+  const ArqReceiver::Verdict v = rx_.on_data(full);
+  if (v.deliver) {
+    delivered_.push_back(dec.frame.payload);
+  }
+  if (v.duplicate) {
+    ++stats_.duplicates;
+  }
+  if (v.gap) {
+    rx_saw_gap_ = true;
+  }
+}
+
+std::optional<std::uint64_t> LinkChannel::exchange_response() {
+  LinkFrame response;
+  if (sync_.engaged()) {
+    response.kind = rx_saw_gap_ ? FrameKind::kNak : FrameKind::kAck;
+    response.seq = rx_.expected();
+    response.payload = pack_bits(rx_.expected(), 64);
+  } else {
+    response.kind = FrameKind::kIdle;  // a hunting RX has nothing to say
+  }
+  rx_saw_gap_ = false;
+  ++stats_.control_frames_sent;
+
+  const TransferOutcome out =
+      reverse_(codec_.encode(response), tick_++, margin());
+  if (!out.captured || !out.frame_ok) {
+    return std::nullopt;
+  }
+  const FrameCodec::Decoded dec = codec_.decode(out.packet);
+  if (!dec.ok() || (dec.frame.kind != FrameKind::kAck &&
+                    dec.frame.kind != FrameKind::kNak)) {
+    return std::nullopt;
+  }
+  if (dec.frame.kind == FrameKind::kNak) {
+    ++stats_.naks;
+  }
+  return unpack_bits(dec.frame.payload, 0, 64);
+}
+
+void LinkChannel::resynchronize() {
+  std::uint64_t spent = 0;
+  while (!sync_.engaged() && spent < config_.arq.max_resync_slots) {
+    // A guard/training slot: the idle frame carries no payload energy, so
+    // the receiver can check the guard/dead-time pattern against it. The
+    // channel's integrity at this tick decides whether it looks clean.
+    const TransferOutcome out =
+        forward_(codec_.encode(LinkFrame{FrameKind::kIdle, 0, {}}), tick_++,
+                 margin());
+    ++stats_.resync_slots;
+    ++spent;
+    sync_.observe_guard(out.captured && out.frame_ok);
+  }
+}
+
+void LinkChannel::note_completion(bool was_abandoned) {
+  if (config_.degrade_window == 0) {
+    return;
+  }
+  ++window_completed_;
+  if (was_abandoned) {
+    ++window_abandoned_;
+  }
+  if (window_completed_ < config_.degrade_window) {
+    return;
+  }
+  const double fer = static_cast<double>(window_abandoned_) /
+                     static_cast<double>(window_completed_);
+  if (fer > config_.degrade_fer_threshold &&
+      rate_steps_ < config_.max_rate_steps) {
+    ++rate_steps_;  // UI doubles: more margin, half the effective severity
+  }
+  window_completed_ = 0;
+  window_abandoned_ = 0;
+}
+
+SendResult LinkChannel::send_payload(const BitVector& payload) {
+  return transfer({payload}).front();
+}
+
+std::vector<SendResult> LinkChannel::transfer(
+    const std::vector<BitVector>& payloads) {
+  for (const BitVector& p : payloads) {
+    MGT_CHECK(p.size() == codec_.user_bits(),
+              "link payload must be exactly codec().user_bits() = " +
+                  std::to_string(codec_.user_bits()) + " bits, got " +
+                  std::to_string(p.size()));
+  }
+  const std::size_t n = payloads.size();
+  std::vector<SendResult> results(n);
+  std::vector<std::size_t> attempts(n, 0);
+  stats_.offered += n;
+
+  std::size_t base = 0;
+  std::size_t retries = 0;  // rounds without progress for the current base
+  std::uint64_t backoff = config_.arq.timeout_slots;
+
+  while (base < n) {
+    if (!sync_.engaged()) {
+      resynchronize();
+    }
+
+    // Send the window [base, end). The base payload always travels as
+    // sequence tx_acked_: sequence numbers advance only on delivery.
+    const std::size_t end = std::min(base + config_.arq.window, n);
+    for (std::size_t s = base; s < end; ++s) {
+      ++attempts[s];
+      if (attempts[s] > 1) {
+        ++stats_.retransmissions;
+      }
+      ++stats_.data_frames_sent;
+      LinkFrame frame;
+      frame.kind = FrameKind::kData;
+      frame.seq = tx_acked_ + (s - base);
+      frame.payload = payloads[s];
+      deliver_to_rx(frame);
+    }
+
+    const std::optional<std::uint64_t> ack = exchange_response();
+    bool progress = false;
+    if (ack.has_value()) {
+      const std::uint64_t c = *ack;
+      MGT_CHECK(c <= tx_acked_ + (end - base),
+                "cumulative ack beyond the sent window");
+      if (c > tx_acked_) {
+        const std::uint64_t delta = c - tx_acked_;
+        for (std::uint64_t d = 0; d < delta; ++d) {
+          results[base + d] = SendResult{true, tx_acked_ + d,
+                                         attempts[base + d]};
+          ++stats_.delivered;
+          note_completion(false);
+        }
+        base += delta;
+        tx_acked_ = c;
+        retries = 0;
+        backoff = config_.arq.timeout_slots;
+        progress = true;
+      }
+    } else {
+      // Undecodable response: wait out the (exponentially backed off)
+      // timeout before going back.
+      ++stats_.timeouts;
+      tick_ += backoff;
+      backoff = std::min(backoff * config_.arq.backoff_base,
+                         config_.arq.backoff_cap_slots);
+    }
+
+    if (!progress && !ack.has_value()) {
+      ++retries;
+    } else if (!progress) {
+      ++retries;  // decodable NAK / duplicate ack: immediate go-back
+    }
+
+    if (retries > config_.arq.max_retries) {
+      // Bounded retry exhausted: the upper layer loses this payload. Its
+      // sequence slot is NOT consumed — the next payload reuses it, so the
+      // receiver's in-order expectation stays aligned.
+      results[base] = SendResult{false, tx_acked_, attempts[base]};
+      ++stats_.abandoned;
+      note_completion(true);
+      ++base;
+      retries = 0;
+      backoff = config_.arq.timeout_slots;
+    }
+  }
+  return results;
+}
+
+LinkStats LinkChannel::stats() const {
+  LinkStats s = stats_;
+  s.sync_losses = sync_.sync_losses();
+  s.relocks = sync_.relocks();
+  s.slots = tick_;
+  s.rate_steps = rate_steps_;
+  return s;
+}
+
+fault::HealthReport LinkChannel::health() const {
+  const LinkStats s = stats();
+  fault::HealthReport report;
+
+  if (!s.accounting_closed()) {
+    report.add("arq", fault::HealthStatus::kFailed,
+               "frame accounting violated: offered=" +
+                   std::to_string(s.offered) + " != delivered=" +
+                   std::to_string(s.delivered) + " + abandoned=" +
+                   std::to_string(s.abandoned));
+  } else if (s.abandoned > 0) {
+    report.add("arq", fault::HealthStatus::kDegraded,
+               std::to_string(s.abandoned) + "/" + std::to_string(s.offered) +
+                   " payloads abandoned after " +
+                   std::to_string(config_.arq.max_retries) + " retries");
+  } else {
+    report.add("arq", fault::HealthStatus::kOk,
+               s.retransmissions == 0
+                   ? ""
+                   : std::to_string(s.retransmissions) +
+                         " retransmissions masked all channel errors");
+  }
+
+  report.add(
+      "sync",
+      s.sync_losses == 0 ? fault::HealthStatus::kOk
+                         : fault::HealthStatus::kDegraded,
+      s.sync_losses == 0
+          ? ""
+          : std::to_string(s.sync_losses) + " sync losses, " +
+                std::to_string(s.resync_slots) + " slots hunting, " +
+                std::to_string(s.relocks) + " relocks");
+
+  if (rate_steps_ == 0) {
+    report.add("rate", fault::HealthStatus::kOk, "");
+  } else {
+    report.add("rate", fault::HealthStatus::kDegraded,
+               "stepped down " +
+                   std::to_string(GbitsPerSec::from_ui(config_.format.ui)
+                                      .gbps()) +
+                   " -> " + std::to_string(current_rate().gbps()) +
+                   " Gbps (ui " + std::to_string(config_.format.ui.ps()) +
+                   " -> " + std::to_string(current_ui().ps()) + " ps)");
+  }
+  return report;
+}
+
+// ------------------------------------------------------------- transports --
+
+LinkChannel::Transport make_fault_transport(const fault::FaultPlan& plan,
+                                            const std::string& component) {
+  return [slice = plan.component(component)](
+             const testbed::TestbedPacket& packet, std::uint64_t tick,
+             double severity_scale) {
+    LinkChannel::TransferOutcome out;
+    out.packet = packet;
+    if (!slice.any()) {
+      return out;  // empty plan: byte-identical, zero RNG draws
+    }
+    if (slice.active(fault::FaultKind::kLossOfSignal, tick)) {
+      out.captured = false;
+      return out;
+    }
+    if (slice.active(fault::FaultKind::kSyncLoss, tick)) {
+      out.frame_ok = false;
+    }
+    const double severity =
+        slice.severity(fault::FaultKind::kFrameCorruption, tick) *
+        severity_scale;
+    if (severity > 0.0) {
+      // Decisions keyed on (plan seed, component, tick) only: the stream
+      // is reproducible at every MGT_THREADS and any call order.
+      Rng rng = slice.rng(tick);
+      for (std::size_t ch = 0; ch < testbed::kDataChannels; ++ch) {
+        BitVector& lane = out.packet.payload[ch];
+        for (std::size_t k = 0; k < lane.size(); ++k) {
+          if (rng.chance(severity)) {
+            lane.set(k, !lane.get(k));
+          }
+        }
+      }
+      for (std::size_t h = 0; h < testbed::kHeaderChannels; ++h) {
+        if (rng.chance(severity)) {
+          out.packet.header ^= static_cast<std::uint8_t>(1u << h);
+        }
+      }
+    }
+    return out;
+  };
+}
+
+LinkChannel::Transport make_testbed_transport(testbed::OpticalTestbed& bed) {
+  return [&bed](const testbed::TestbedPacket& packet, std::uint64_t /*tick*/,
+                double /*severity_scale*/) {
+    const testbed::OpticalTestbed::SingleResult result = bed.send_one(packet);
+    return LinkChannel::TransferOutcome{result.received, result.frame_ok,
+                                        result.captured};
+  };
+}
+
+LinkChannel::Transport make_routed_transport(testbed::OpticalTestbed& bed,
+                                             std::size_t input_port,
+                                             std::uint32_t destination) {
+  return [&bed, input_port, destination](
+             const testbed::TestbedPacket& packet, std::uint64_t /*tick*/,
+             double /*severity_scale*/) {
+    const testbed::OpticalTestbed::RoutedResult result =
+        bed.send_routed(packet, input_port, destination);
+    if (!result.routed) {
+      return LinkChannel::TransferOutcome{packet, false, false};
+    }
+    return LinkChannel::TransferOutcome{result.signal.received,
+                                        result.signal.frame_ok,
+                                        result.signal.captured};
+  };
+}
+
+}  // namespace mgt::link

@@ -5,11 +5,25 @@
 namespace mgt::testbed {
 
 void SlotFormat::validate() const {
-  MGT_CHECK(ui.ps() > 0.0);
-  MGT_CHECK(dead_bits + 2 * guard_bits + window_bits == slot_bits,
-            "slot layout must close: dead + 2*guard + window == slot");
-  MGT_CHECK(pre_clock_bits + data_bits + post_clock_bits == window_bits,
-            "window layout must close: pre + data + post == window");
+  MGT_CHECK(ui.ps() > 0.0,
+            "SlotFormat.ui must be positive, got " + std::to_string(ui.ps()) +
+                " ps");
+  // Name every offending field and show the arithmetic that failed, so a
+  // bad format is diagnosable from the message alone.
+  MGT_CHECK(
+      dead_bits + 2 * guard_bits + window_bits == slot_bits,
+      "slot layout must close: slot_bits=" + std::to_string(slot_bits) +
+          " != dead_bits+2*guard_bits+window_bits=" +
+          std::to_string(dead_bits) + "+2*" + std::to_string(guard_bits) +
+          "+" + std::to_string(window_bits) + "=" +
+          std::to_string(dead_bits + 2 * guard_bits + window_bits));
+  MGT_CHECK(
+      pre_clock_bits + data_bits + post_clock_bits == window_bits,
+      "window layout must close: window_bits=" + std::to_string(window_bits) +
+          " != pre_clock_bits+data_bits+post_clock_bits=" +
+          std::to_string(pre_clock_bits) + "+" + std::to_string(data_bits) +
+          "+" + std::to_string(post_clock_bits) + "=" +
+          std::to_string(pre_clock_bits + data_bits + post_clock_bits));
 }
 
 SlotBits build_slot(const SlotFormat& format, const TestbedPacket& packet) {

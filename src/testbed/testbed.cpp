@@ -17,6 +17,7 @@ OpticalTestbed::OpticalTestbed(Config config, std::uint64_t seed)
       fabric_(vortex::Geometry::for_heights(config.ports, config.angles)),
       path_(config.path),
       optics_faults_(config.faults.component("optics")) {
+  config_.format.validate();
   MGT_CHECK(config_.signal_check_period >= 1);
   fabric_.set_faults(config_.faults.component("fabric"));
   // One laser/detector pair per high-speed channel, on a WDM grid.
@@ -88,6 +89,69 @@ OpticalTestbed::SingleResult OpticalTestbed::send_one(
   } else {
     out.payload_bit_errors = kDataChannels * config_.format.data_bits;
   }
+  return out;
+}
+
+OpticalTestbed::RoutedResult OpticalTestbed::send_routed(
+    const TestbedPacket& packet, std::size_t input_port,
+    std::uint32_t destination) {
+  MGT_CHECK(input_port < config_.ports, "input port out of range");
+  MGT_CHECK(destination < config_.ports, "destination port out of range");
+
+  // Bounds that make the call total: enough slots to drain a full fabric
+  // at the input, and enough for any surviving packet to spiral out.
+  const std::uint64_t max_wait = 4 * fabric_.geometry().node_count();
+  const std::uint64_t max_route = 16 * fabric_.geometry().node_count();
+
+  vortex::Packet p;
+  p.id = next_packet_id_++;
+  const std::uint64_t id = p.id;
+  p.destination = destination;
+  std::vector<BitVector> lanes;
+  lanes.reserve(kDataChannels);
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    lanes.push_back(packet.payload[ch]);
+  }
+  p.payload = BitVector::interleave(lanes);
+
+  RoutedResult out;
+  std::vector<vortex::Delivery> ejected;
+  if (!fabric_.inject_with_retry(p, input_port, max_wait, ejected)) {
+    return out;  // entry node never freed: routed stays false
+  }
+
+  std::optional<vortex::Delivery> ours;
+  auto scan = [&](const std::vector<vortex::Delivery>& deliveries) {
+    for (const auto& d : deliveries) {
+      if (d.packet.id == id) {
+        ours = d;
+      }
+    }
+  };
+  scan(ejected);
+  for (std::uint64_t s = 0; !ours.has_value() && s < max_route; ++s) {
+    if (fabric_.occupancy() == 0) {
+      break;  // our packet was dropped by a failed node
+    }
+    scan(fabric_.step());
+  }
+  if (!ours.has_value()) {
+    return out;
+  }
+  MGT_CHECK(ours->output_port == destination,
+            "fabric delivered a routed packet to the wrong port");
+  out.routed = true;
+  out.latency_slots = ours->latency_slots();
+
+  // The packet leaves the fabric on the destination port's wavelengths;
+  // from here it takes the same analog chain as a point-to-point slot.
+  TestbedPacket arrived;
+  arrived.header = packet.header;
+  const auto arrived_lanes = ours->packet.payload.deinterleave(kDataChannels);
+  for (std::size_t ch = 0; ch < kDataChannels; ++ch) {
+    arrived.payload[ch] = arrived_lanes[ch];
+  }
+  out.signal = send_one(arrived);
   return out;
 }
 

@@ -60,6 +60,25 @@ public:
   /// contention; the pure signal path).
   SingleResult send_one(const TestbedPacket& packet);
 
+  /// Result of one transfer routed through the Data Vortex fabric before
+  /// taking the analog signal path (transmitter -> fabric -> receiver).
+  struct RoutedResult {
+    /// Signal-path outcome at the output port. Only meaningful if routed.
+    SingleResult signal;
+    /// Slots spent inside the fabric (deflections included).
+    std::uint64_t latency_slots = 0;
+    /// False when the fabric never delivered the packet: the entry node
+    /// stayed blocked/failed, or a failed node dropped it in flight.
+    bool routed = false;
+  };
+
+  /// Deflection-routes one packet from `input_port` to `destination`
+  /// through the fabric, then runs the delivered payload down the full
+  /// signal path. Bounded: a packet the fabric cannot place or deliver
+  /// comes back with routed == false instead of hanging.
+  RoutedResult send_routed(const TestbedPacket& packet,
+                           std::size_t input_port, std::uint32_t destination);
+
   /// Full run statistics.
   struct RunStats {
     vortex::FabricStats fabric;

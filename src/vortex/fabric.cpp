@@ -1,5 +1,7 @@
 #include "vortex/fabric.hpp"
 
+#include <iterator>
+
 #include "util/error.hpp"
 
 namespace mgt::vortex {
@@ -74,6 +76,23 @@ bool DataVortex::inject(Packet packet, std::size_t port) {
   entry = std::move(packet);
   ++stats_.injected;
   return true;
+}
+
+bool DataVortex::inject_with_retry(const Packet& packet, std::size_t port,
+                                   std::uint64_t max_wait_slots,
+                                   std::vector<Delivery>& deliveries) {
+  for (std::uint64_t wait = 0;; ++wait) {
+    if (inject(packet, port)) {
+      return true;
+    }
+    if (wait >= max_wait_slots) {
+      return false;
+    }
+    std::vector<Delivery> ejected = step();
+    deliveries.insert(deliveries.end(),
+                      std::make_move_iterator(ejected.begin()),
+                      std::make_move_iterator(ejected.end()));
+  }
 }
 
 std::vector<Delivery> DataVortex::step() {

@@ -54,6 +54,15 @@ public:
   /// True when input `port`'s entry node is free this slot.
   [[nodiscard]] bool can_inject(std::size_t port) const;
 
+  /// Injects with bounded input backpressure: when the entry node is busy
+  /// the fabric is stepped (up to `max_wait_slots` times) to let traffic
+  /// drain before retrying. Deliveries produced by those steps are
+  /// appended to `deliveries` so no ejected packet is lost. Returns false
+  /// when the entry never freed (persistently failed entry node).
+  bool inject_with_retry(const Packet& packet, std::size_t port,
+                         std::uint64_t max_wait_slots,
+                         std::vector<Delivery>& deliveries);
+
   /// Attaches this fabric's fault slice (kind kNodeFailure; index = flat
   /// node index or kAllIndices with severity = failed fraction; tick =
   /// packet slot). The fabric reroutes around failed nodes: descents into

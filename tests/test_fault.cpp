@@ -17,6 +17,7 @@
 #include "core/test_system.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
+#include "link/link.hpp"
 #include "minitester/array.hpp"
 #include "minitester/minitester.hpp"
 #include "pecl/clocksource.hpp"
@@ -625,6 +626,83 @@ TEST(SelfTest, HealthReportAggregates) {
   EXPECT_EQ(report.worst(), HealthStatus::kFailed);
   ASSERT_NE(report.find("rx.detector"), nullptr);
   EXPECT_NE(report.to_string().find("rx.detector"), std::string::npos);
+}
+
+TEST(SelfTest, EmptyHealthReportIsVacuouslyOk) {
+  const fault::HealthReport report;
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.worst(), HealthStatus::kOk);
+  EXPECT_EQ(report.find("anything"), nullptr);
+  EXPECT_TRUE(report.components().empty());
+  // Merging an empty report into an empty report stays empty.
+  fault::HealthReport into;
+  into.merge(report, "sub.");
+  EXPECT_TRUE(into.components().empty());
+}
+
+TEST(SelfTest, MergedPrefixReportsKeepOrderAndDistinguishNames) {
+  // Two subsystems may use the same component names; prefixes must keep
+  // their entries distinct and ordered (first-added first).
+  fault::HealthReport tx;
+  tx.add("serializer", HealthStatus::kOk);
+  fault::HealthReport rx;
+  rx.add("serializer", HealthStatus::kDegraded, "slow lane");
+
+  fault::HealthReport report;
+  report.merge(tx, "tx.");
+  report.merge(rx, "rx.");
+  ASSERT_EQ(report.components().size(), 2u);
+  EXPECT_EQ(report.components()[0].component, "tx.serializer");
+  EXPECT_EQ(report.components()[1].component, "rx.serializer");
+  EXPECT_EQ(report.find("tx.serializer")->status, HealthStatus::kOk);
+  EXPECT_EQ(report.find("rx.serializer")->status, HealthStatus::kDegraded);
+  EXPECT_EQ(report.find("serializer"), nullptr)
+      << "unprefixed name must not resolve after a prefixed merge";
+  // Empty prefix merges keep the original names.
+  fault::HealthReport flat;
+  flat.merge(rx);
+  EXPECT_NE(flat.find("serializer"), nullptr);
+}
+
+TEST(SelfTest, LinkDegradedModeRoundTripsThroughSystemReport) {
+  // A degraded link (rate fallback engaged) must surface in the same
+  // report a controlling PC reads from TestSystem::self_test().
+  FaultPlan plan(4242);
+  FaultSpec corrupt;
+  corrupt.kind = FaultKind::kFrameCorruption;
+  corrupt.component = "link.fwd";
+  corrupt.severity = 0.5;
+  plan.schedule(corrupt);
+
+  link::ArqConfig arq;
+  arq.max_retries = 2;
+  link::LinkChannel::Config config;
+  config.arq = arq;
+  config.degrade_window = 4;
+  config.degrade_fer_threshold = 0.25;
+  link::LinkChannel channel(
+      config, link::make_fault_transport(plan, "link.fwd"),
+      link::make_fault_transport(plan, "link.rev"));
+
+  Rng rng(11);
+  std::vector<BitVector> payloads;
+  for (std::size_t i = 0; i < 16; ++i) {
+    payloads.push_back(BitVector::random(channel.codec().user_bits(), rng));
+  }
+  (void)channel.transfer(payloads);
+  ASSERT_GT(channel.rate_steps(), 0u) << "fallback must have engaged";
+
+  core::TestSystem sys(core::presets::optical_testbed(), 80);
+  fault::HealthReport report = sys.self_test();
+  report.merge(channel.health(), "link.");
+
+  EXPECT_EQ(report.worst(), HealthStatus::kDegraded) << report.to_string();
+  ASSERT_NE(report.find("link.rate"), nullptr);
+  EXPECT_EQ(report.find("link.rate")->status, HealthStatus::kDegraded);
+  ASSERT_NE(report.find("link.arq"), nullptr);
+  EXPECT_EQ(report.find("link.arq")->status, HealthStatus::kDegraded);
+  // The signal-chain entries are untouched by the merge.
+  EXPECT_EQ(report.find("serializer")->status, HealthStatus::kOk);
 }
 
 // ------------------------------------------------------------ fault sweep --

@@ -377,9 +377,65 @@ private:
     if (t.text == "catch" && next_is(i, "(") && in_src(kind_)) {
       check_catch(i);
     }
+    if (next_is(i, "(") && is_must_use_call(t.text)) {
+      check_discarded_status(i);
+    }
     if (!class_stack_.empty() && t.text == class_stack_.back().name &&
         next_is(i, "(") && brace_depth_ == class_stack_.back().member_depth) {
       check_ctor(i);
+    }
+  }
+
+  /// Calls whose return value is a health/delivery verdict that must not
+  /// be silently dropped: self-test reports and the ARQ send-result types.
+  static bool is_must_use_call(std::string_view name) {
+    return name == "self_test" || name == "send_payload" ||
+           name == "transfer" || name == "inject_with_retry";
+  }
+
+  /// A must-use call whose result is discarded as a bare statement:
+  /// `sys.self_test();`. Consuming the result in any way — assignment,
+  /// member access on the returned object, a surrounding expression,
+  /// `return`, or an explicit `(void)` cast — is fine.
+  void check_discarded_status(std::size_t i) {
+    // The full-expression must end right after the call's closing paren.
+    std::size_t j = i + 1;  // at '('
+    int depth = 0;
+    for (; j < size(); ++j) {
+      if (tok(j).text == "(") {
+        ++depth;
+      } else if (tok(j).text == ")") {
+        if (--depth == 0) {
+          break;
+        }
+      }
+    }
+    if (j + 1 >= size() || tok(j + 1).text != ";") {
+      return;  // result feeds a larger expression (.worst(), comparison...)
+    }
+    // Walk the object chain back to the start of the statement:
+    // `a.b->c.self_test();` starts at `a`.
+    std::size_t head = i;
+    while (head >= 2 &&
+           (tok(head - 1).text == "." || tok(head - 1).text == "->" ||
+            tok(head - 1).text == "::") &&
+           tok(head - 2).kind == TokKind::kIdent) {
+      head -= 2;
+    }
+    if (head == 0) {
+      return;  // nothing before: can't prove it's a statement
+    }
+    const std::string_view before = tok(head - 1).text;
+    // `(void)chain.call();` is an explicit, reviewable discard.
+    if (before == ")" && head >= 3 && tok(head - 2).text == "void" &&
+        tok(head - 3).text == "(") {
+      return;
+    }
+    if (before == ";" || before == "{" || before == "}") {
+      report(i, rules::kUncheckedStatus,
+             "discarded result of '" + std::string(tok(i).text) +
+                 "()'; check the returned status (or cast to (void) / "
+                 "mgtlint:allow(no-unchecked-status))");
     }
   }
 
@@ -675,6 +731,7 @@ const std::vector<std::string_view>& all_rules() {
       rules::kUnitDouble,     rules::kFloat,     rules::kAssert,
       rules::kUsingNamespace, rules::kExplicitCtor,
       rules::kCatchIgnore,    rules::kCatchByValue,
+      rules::kUncheckedStatus,
   };
   return kRules;
 }

@@ -56,6 +56,7 @@ inline constexpr std::string_view kUsingNamespace = "no-using-namespace-header";
 inline constexpr std::string_view kExplicitCtor = "explicit-ctor";
 inline constexpr std::string_view kCatchIgnore = "no-catch-ignore";
 inline constexpr std::string_view kCatchByValue = "catch-by-reference";
+inline constexpr std::string_view kUncheckedStatus = "no-unchecked-status";
 }  // namespace rules
 
 /// All rule ids, for --list-rules and the fixture suite.

@@ -389,6 +389,65 @@ TEST(MgtlintContracts, CatchByReferenceEllipsisAndAllowlistedFine) {
                      "catch-by-reference"));
 }
 
+TEST(MgtlintContracts, UncheckedStatusBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f(core::TestSystem& sys) {
+      sys.self_test();
+    }
+  )",
+                    "no-unchecked-status"));
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f(link::LinkChannel& ch, const BitVector& p) {
+      ch.send_payload(p);
+    }
+  )",
+                    "no-unchecked-status"));
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f(Deep& d) {
+      d.sys->inner.self_test();
+    }
+  )",
+                    "no-unchecked-status"));
+}
+
+TEST(MgtlintContracts, UncheckedStatusConsumedResultFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    bool f(core::TestSystem& sys) {
+      const auto report = sys.self_test();
+      return sys.self_test().worst() == fault::HealthStatus::kOk;
+    }
+  )",
+                     "no-unchecked-status"));
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    fault::HealthReport f(core::TestSystem& sys) {
+      return sys.self_test();
+    }
+  )",
+                     "no-unchecked-status"));
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f(link::LinkChannel& ch, const std::vector<BitVector>& ps) {
+      const auto results = ch.transfer(ps);
+      if (ch.send_payload(ps[0]).delivered) { note(); }
+    }
+  )",
+                     "no-unchecked-status"));
+}
+
+TEST(MgtlintContracts, UncheckedStatusVoidCastAndAllowlistedFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f(core::TestSystem& sys) {
+      (void)sys.self_test();
+    }
+  )",
+                     "no-unchecked-status"));
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f(link::LinkChannel& ch, const BitVector& p) {
+      ch.send_payload(p);  // mgtlint:allow(no-unchecked-status)
+    }
+  )",
+                     "no-unchecked-status"));
+}
+
 // ------------------------------------------------------------------ lexer --
 
 TEST(MgtlintLexer, StringsCommentsAndIncludesAreSkipped) {
@@ -446,7 +505,7 @@ TEST(MgtlintMisc, ClassifyPath) {
 
 TEST(MgtlintMisc, AllRulesListsEveryRuleOnce) {
   const auto& rules = mgtlint::all_rules();
-  EXPECT_EQ(rules.size(), 12u);
+  EXPECT_EQ(rules.size(), 13u);
   for (const auto rule : rules) {
     EXPECT_EQ(std::count(rules.begin(), rules.end(), rule), 1)
         << std::string(rule);
