@@ -2,7 +2,8 @@
 
 namespace mgt::link {
 
-std::uint64_t ArqReceiver::reconstruct(std::uint8_t wire_seq) const {
+std::optional<std::uint64_t> ArqReceiver::reconstruct(
+    std::uint8_t wire_seq) const {
   // Modular distance from the expectation's low byte. Deltas in the front
   // half of the sequence space are "at or ahead of" the expectation, the
   // back half is "behind" (duplicates of already-acked frames).
@@ -12,9 +13,14 @@ std::uint64_t ArqReceiver::reconstruct(std::uint8_t wire_seq) const {
     return expected_ + delta;
   }
   const std::uint64_t back = 256u - delta;
-  // A duplicate from before the stream started cannot exist; clamp so the
-  // verdict degrades to "duplicate" rather than underflowing.
-  return expected_ >= back ? expected_ - back : 0;
+  // A sequence from before the stream started cannot exist (it takes a
+  // CRC-8 false pass on a corrupted header to get here). Signal "behind"
+  // explicitly rather than clamping: a clamped value of 0 would equal a
+  // fresh receiver's expectation and deliver a wrong payload as #0.
+  if (expected_ < back) {
+    return std::nullopt;
+  }
+  return expected_ - back;
 }
 
 ArqReceiver::Verdict ArqReceiver::on_data(std::uint64_t full_seq) {

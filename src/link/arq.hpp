@@ -9,12 +9,19 @@
 //   offered == delivered + abandoned
 //
 // with retransmissions counted separately (they are extra work, not extra
-// payloads). Sequence numbers advance only on confirmed delivery, so an
-// abandoned payload's sequence slot is reused by the next payload and the
-// two ends can never drift apart structurally.
+// payloads). Sequence numbers advance only on delivery. When the retry
+// budget runs out the transmitter cannot distinguish "payload lost" from
+// "payload delivered, every ack lost" (the two-generals ambiguity), so the
+// LinkChannel — which owns both endpoints, like the controlling PC of the
+// paper's test bed — reconciles against the receiver's expectation before
+// deciding: a payload the receiver already accepted is counted delivered
+// (an ack loss, `LinkStats::reconciled`), and only a payload the receiver
+// still expects is abandoned, its sequence slot reused by the next payload.
+// Either way the two ends can never drift apart structurally.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "link/frame.hpp"
 #include "util/error.hpp"
@@ -74,6 +81,8 @@ struct LinkStats {
   std::uint64_t control_frames_sent = 0;  // ACK/NAK exchanges
   std::uint64_t timeouts = 0;             // unusable reverse-channel rounds
   std::uint64_t naks = 0;                 // decodable NAK responses
+  std::uint64_t reconciled = 0;           // delivered despite every ack lost
+  std::uint64_t rejected_acks = 0;        // decodable but implausible acks
   // RX side.
   std::uint64_t integrity_failures = 0;   // CRC / frame-bit / capture failures
   std::uint64_t frames_lost_hunting = 0;  // arrived while the RX hunted
@@ -121,8 +130,12 @@ public:
 
   /// Rebuilds the full sequence number from its 8 wire bits, assuming the
   /// sender is within +/- window of this receiver's expectation (the
-  /// window bound guarantees it).
-  [[nodiscard]] std::uint64_t reconstruct(std::uint8_t wire_seq) const;
+  /// window bound guarantees it). Returns nullopt for a sequence that
+  /// decodes to before the start of the stream — such a frame can only be
+  /// a corrupted header that slipped past CRC-8, and the caller must treat
+  /// it as a duplicate, never deliver it.
+  [[nodiscard]] std::optional<std::uint64_t> reconstruct(
+      std::uint8_t wire_seq) const;
 
   /// Verdict on an integrity-checked data frame.
   struct Verdict {

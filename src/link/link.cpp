@@ -18,6 +18,14 @@ LinkChannel::LinkChannel(Config config, Transport forward, Transport reverse)
   config_.arq.validate();
   MGT_CHECK(static_cast<bool>(forward_), "LinkChannel needs a forward transport");
   MGT_CHECK(static_cast<bool>(reverse_), "LinkChannel needs a reverse transport");
+  // Control frames carry the 64-bit cumulative ack in the user payload, so
+  // a format the codec accepts can still be too narrow for the protocol.
+  // Fail at construction, not at the first ACK exchange mid-transfer.
+  MGT_CHECK(codec_.user_bits() >= 64,
+            "LinkChannel needs user_bits() >= 64 to carry the cumulative "
+            "ack; SlotFormat.data_bits = " +
+                std::to_string(config_.format.data_bits) + " leaves only " +
+                std::to_string(codec_.user_bits()) + " bits");
   MGT_CHECK(config_.degrade_fer_threshold >= 0.0 &&
                 config_.degrade_fer_threshold <= 1.0,
             "degrade_fer_threshold must be in [0, 1]");
@@ -58,9 +66,15 @@ void LinkChannel::deliver_to_rx(const LinkFrame& frame) {
     return;
   }
   sync_.observe_good_frame();
-  const std::uint64_t full = rx_.reconstruct(
+  const std::optional<std::uint64_t> full = rx_.reconstruct(
       static_cast<std::uint8_t>(dec.frame.seq & 0xFFu));
-  const ArqReceiver::Verdict v = rx_.on_data(full);
+  if (!full.has_value()) {
+    // A sequence from before the stream began: a corrupted header that
+    // slipped past CRC-8. Re-ack territory, never delivery.
+    ++stats_.duplicates;
+    return;
+  }
+  const ArqReceiver::Verdict v = rx_.on_data(*full);
   if (v.deliver) {
     delivered_.push_back(dec.frame.payload);
   }
@@ -178,12 +192,21 @@ std::vector<SendResult> LinkChannel::transfer(
       deliver_to_rx(frame);
     }
 
-    const std::optional<std::uint64_t> ack = exchange_response();
+    std::optional<std::uint64_t> ack = exchange_response();
+    // Plausibility gate: a genuine cumulative ack lies in
+    // [tx_acked_, tx_acked_ + (end - base)] — the receiver's expectation
+    // is monotonic and it cannot have accepted beyond what this window
+    // sent. Anything else is a corrupted control frame that slipped past
+    // CRC-16; discard it like an undecodable response instead of letting
+    // a garbage count drive the window (or abort the transfer).
+    if (ack.has_value() &&
+        (*ack < tx_acked_ || *ack > tx_acked_ + (end - base))) {
+      ++stats_.rejected_acks;
+      ack.reset();
+    }
     bool progress = false;
     if (ack.has_value()) {
       const std::uint64_t c = *ack;
-      MGT_CHECK(c <= tx_acked_ + (end - base),
-                "cumulative ack beyond the sent window");
       if (c > tx_acked_) {
         const std::uint64_t delta = c - tx_acked_;
         for (std::uint64_t d = 0; d < delta; ++d) {
@@ -214,12 +237,30 @@ std::vector<SendResult> LinkChannel::transfer(
     }
 
     if (retries > config_.arq.max_retries) {
-      // Bounded retry exhausted: the upper layer loses this payload. Its
-      // sequence slot is NOT consumed — the next payload reuses it, so the
-      // receiver's in-order expectation stays aligned.
-      results[base] = SendResult{false, tx_acked_, attempts[base]};
-      ++stats_.abandoned;
-      note_completion(true);
+      // Bounded retry exhausted. From acks alone the TX cannot tell
+      // "payload lost" from "payload delivered, every ack lost" — and
+      // guessing wrong either aborts on the first recovered ack or
+      // silently substitutes payloads in the delivered stream. This
+      // channel owns both endpoints (exactly like the controlling PC of
+      // the paper's test bed), so reconcile against the receiver before
+      // deciding the payload's fate.
+      if (rx_.expected() > tx_acked_) {
+        // The receiver accepted this sequence: the payload is in
+        // delivered_payloads() and only the acks were lost. Count it
+        // delivered and consume its sequence slot.
+        results[base] = SendResult{true, tx_acked_, attempts[base]};
+        ++stats_.delivered;
+        ++stats_.reconciled;
+        ++tx_acked_;
+        note_completion(false);
+      } else {
+        // The receiver still expects this sequence: truly undelivered.
+        // Its slot is NOT consumed — the next payload reuses it, so the
+        // receiver's in-order expectation stays aligned.
+        results[base] = SendResult{false, tx_acked_, attempts[base]};
+        ++stats_.abandoned;
+        note_completion(true);
+      }
       ++base;
       retries = 0;
       backoff = config_.arq.timeout_slots;
@@ -252,6 +293,11 @@ fault::HealthReport LinkChannel::health() const {
                std::to_string(s.abandoned) + "/" + std::to_string(s.offered) +
                    " payloads abandoned after " +
                    std::to_string(config_.arq.max_retries) + " retries");
+  } else if (s.reconciled > 0) {
+    report.add("arq", fault::HealthStatus::kDegraded,
+               std::to_string(s.reconciled) + "/" + std::to_string(s.offered) +
+                   " payloads delivered but every ack lost "
+                   "(endpoint reconciliation)");
   } else {
     report.add("arq", fault::HealthStatus::kOk,
                s.retransmissions == 0

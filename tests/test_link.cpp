@@ -156,6 +156,27 @@ TEST(LinkFrameCodec, FlagsCorruptionInTheRightDomain) {
   EXPECT_FALSE(codec.decode(header_hit).header_ok);
 }
 
+TEST(LinkFrameCodec, NarrowFormatFitsCodecButNotTheLinkProtocol) {
+  // A consistent slot geometry whose payload window is too narrow for the
+  // 64-bit cumulative ack: the codec accepts it (4*16 = 64 > 32 overhead
+  // bits), but LinkChannel must reject it at construction instead of
+  // throwing mid-transfer on the first ACK exchange.
+  testbed::SlotFormat narrow;
+  narrow.data_bits = 16;
+  narrow.window_bits = 7 + 16 + 7;
+  narrow.slot_bits = 8 + 2 * 5 + narrow.window_bits;
+  narrow.validate();
+
+  const FrameCodec codec{narrow};
+  EXPECT_EQ(codec.user_bits(), 32u) << "codec alone tolerates the format";
+
+  const FaultPlan empty;
+  LinkChannel::Config config;
+  config.format = narrow;
+  EXPECT_THROW(make_channel(empty, config), Error)
+      << "user_bits() < 64 cannot carry the cumulative ack";
+}
+
 // ------------------------------------------------------------ arq receiver --
 
 TEST(LinkArqReceiver, ReconstructsFullSequenceAcrossWrap) {
@@ -168,6 +189,26 @@ TEST(LinkArqReceiver, ReconstructsFullSequenceAcrossWrap) {
   EXPECT_EQ(rx.reconstruct(static_cast<std::uint8_t>(300 & 0xFF)), 300u);
   EXPECT_EQ(rx.reconstruct(static_cast<std::uint8_t>(305 & 0xFF)), 305u);
   EXPECT_EQ(rx.reconstruct(static_cast<std::uint8_t>(295 & 0xFF)), 295u);
+}
+
+TEST(LinkArqReceiver, BehindStreamStartIsSignalledNotDelivered) {
+  // A wire sequence that decodes to before the stream began (only a CRC-8
+  // false pass on a corrupted header can produce one) must be reported
+  // explicitly — a clamped 0 would equal a fresh receiver's expectation
+  // and deliver a wrong payload as payload #0.
+  ArqReceiver fresh(8);
+  EXPECT_EQ(fresh.reconstruct(0xFF), std::nullopt);
+  EXPECT_EQ(fresh.expected(), 0u) << "a behind frame must not advance state";
+
+  // Once the stream is past the wrap distance, "behind" is an ordinary
+  // duplicate and still reconstructs.
+  ArqReceiver rx(8);
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(rx.on_data(s).deliver);
+  }
+  EXPECT_EQ(rx.reconstruct(1), 1u);
+  EXPECT_TRUE(rx.on_data(1).duplicate);
+  EXPECT_EQ(rx.reconstruct(0xFF), std::nullopt) << "still before the start";
 }
 
 TEST(LinkArqReceiver, VerdictsAreExclusive) {
@@ -313,6 +354,9 @@ TEST(LinkChannel, FullCorruptionAbandonsWithExactAccounting) {
 TEST(LinkChannel, TimeoutsBackOffExponentiallyAndStayBounded) {
   // A reverse channel that is always dark: every round times out, and the
   // transfer must still terminate with bounded, deterministic slot time.
+  // The forward channel is clean, so the payload did reach the receiver —
+  // retry exhaustion must reconcile it as delivered (an ack loss), not
+  // declare it abandoned.
   FaultPlan plan(9);
   FaultSpec los;
   los.kind = FaultKind::kLossOfSignal;
@@ -332,10 +376,13 @@ TEST(LinkChannel, TimeoutsBackOffExponentiallyAndStayBounded) {
   const auto payloads = random_payloads(1, ch.codec().user_bits(), 3);
   const auto results = ch.transfer(payloads);
 
-  EXPECT_FALSE(results[0].delivered);
+  EXPECT_TRUE(results[0].delivered) << "clean forward channel: ack loss only";
   const LinkStats stats = ch.stats();
   EXPECT_TRUE(stats.accounting_closed());
-  EXPECT_EQ(stats.abandoned, 1u);
+  EXPECT_EQ(stats.abandoned, 0u);
+  EXPECT_EQ(stats.delivered, 1u);
+  EXPECT_EQ(stats.reconciled, 1u);
+  EXPECT_EQ(ch.delivered_payloads(), payloads);
   EXPECT_EQ(stats.timeouts, 4u) << "initial round + max_retries";
   // Slots: 4 rounds x (1 data + 1 response) + backoffs 2, 4, 8, 8 (capped).
   EXPECT_EQ(stats.slots, 4u * 2u + 2u + 4u + 8u + 8u);
@@ -343,6 +390,85 @@ TEST(LinkChannel, TimeoutsBackOffExponentiallyAndStayBounded) {
   LinkChannel again = make_channel(plan, config);
   (void)again.transfer(payloads);
   EXPECT_EQ(again.stats().slots, stats.slots) << "protocol time is replayable";
+}
+
+TEST(LinkChannel, TotalOutageAbandonsOnlyTrulyUndeliveredPayloads) {
+  // Both directions dark: nothing reaches the receiver, so retry
+  // exhaustion must abandon — and the delivered stream stays empty.
+  FaultPlan plan(21);
+  for (const char* component : {"link.fwd", "link.rev"}) {
+    FaultSpec los;
+    los.kind = FaultKind::kLossOfSignal;
+    los.component = component;
+    plan.schedule(los);
+  }
+
+  ArqConfig arq;
+  arq.window = 2;
+  arq.max_retries = 2;
+  arq.timeout_slots = 1;
+  arq.max_resync_slots = 4;
+  LinkChannel::Config config;
+  config.arq = arq;
+
+  LinkChannel ch = make_channel(plan, config);
+  const auto payloads = random_payloads(3, ch.codec().user_bits(), 29);
+  const auto results = ch.transfer(payloads);
+
+  const LinkStats stats = ch.stats();
+  EXPECT_TRUE(stats.accounting_closed());
+  EXPECT_EQ(stats.abandoned, payloads.size());
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.reconciled, 0u);
+  EXPECT_TRUE(ch.delivered_payloads().empty());
+  for (const SendResult& r : results) {
+    EXPECT_FALSE(r.delivered);
+  }
+}
+
+TEST(LinkChannel, ReverseOutageSpanningRetryBudgetNeverSubstitutesPayloads) {
+  // Regression for the go-back-N abandonment bug: a clean forward channel
+  // with a finite reverse-channel outage longer than the retry budget. The
+  // receiver advances past the transmitter's acked base during the outage;
+  // a recovered cumulative ack must then reconcile cleanly instead of
+  // tripping the window-bound check or marking later payloads delivered
+  // while delivered_payloads() holds the earlier ones.
+  FaultPlan plan(33);
+  FaultSpec los;
+  los.kind = FaultKind::kLossOfSignal;
+  los.component = "link.rev";
+  los.start = 0;
+  los.duration = 40;
+  plan.schedule(los);
+
+  ArqConfig arq;
+  arq.window = 4;
+  arq.max_retries = 2;
+  arq.timeout_slots = 2;
+  arq.backoff_base = 2;
+  arq.backoff_cap_slots = 8;
+  LinkChannel::Config config;
+  config.arq = arq;
+
+  LinkChannel ch = make_channel(plan, config);
+  const auto payloads = random_payloads(12, ch.codec().user_bits(), 61);
+  const auto results = ch.transfer(payloads);
+
+  const LinkStats stats = ch.stats();
+  EXPECT_TRUE(stats.accounting_closed());
+  EXPECT_GT(stats.timeouts, 0u) << "the outage must actually bite";
+  EXPECT_GT(stats.reconciled, 0u)
+      << "at least one payload must exhaust its retries during the outage";
+  EXPECT_EQ(stats.abandoned, 0u) << "the forward channel never lost a frame";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].delivered) << "payload " << i;
+  }
+  EXPECT_EQ(ch.delivered_payloads(), payloads)
+      << "the delivered stream must be the offered stream, no substitution";
+
+  LinkChannel again = make_channel(plan, config);
+  (void)again.transfer(payloads);
+  EXPECT_EQ(again.stats().slots, stats.slots) << "recovery is replayable";
 }
 
 // -------------------------------------------------------- sync loss / hunt --
