@@ -2,7 +2,9 @@
 //
 // Every bench binary prints a "paper vs measured" ReportTable for its
 // figure (always, so `for b in build/bench/*; do $b; done` regenerates the
-// whole evaluation), then runs any registered google-benchmark timings of
+// whole evaluation), writes a structured BENCH_<name>.json document
+// (schema "mgt-bench-v1": the table plus the obs metrics snapshot — see
+// EXPERIMENTS.md), then runs any registered google-benchmark timings of
 // the underlying simulation machinery.
 #pragma once
 
@@ -12,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "obs/benchjson.hpp"
 #include "util/table.hpp"
 
 namespace mgt::bench {
@@ -32,9 +35,18 @@ inline std::string verdict_range(double measured, double lo, double hi) {
   return (measured >= lo && measured <= hi) ? "OK (in band)" : "DEVIATES";
 }
 
-/// Prints the table and runs benchmarks. Call at the end of main().
+/// Prints the table, writes BENCH_<name>.json, and runs benchmarks. Call at
+/// the end of main().
 inline int finish(ReportTable& table, int argc, char** argv) {
   table.print(std::cout);
+  // Exported before RunSpecifiedBenchmarks(): the table phase drives the
+  // simulation deterministically, while gbench picks iteration counts from
+  // wall time — running it first would leak that into the metrics section.
+  const std::string json_path =
+      obs::write_bench_json(table, obs::bench_name_from_argv0(argv[0]));
+  if (!json_path.empty()) {
+    std::cout << "bench json: " << json_path << "\n";
+  }
   std::cout.flush();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

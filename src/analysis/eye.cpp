@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -218,6 +219,15 @@ EyeDiagram accumulate_eye(const sig::EdgeStream& stream,
   for (std::size_t c = 1; c < n_chunks; ++c) {
     out.merge(*parts[c]);
   }
+  // Recorded after the ordered merge, on the caller: totals are properties
+  // of the merged eye, so they are identical at every worker count.
+  obs::add_counter("eye.accumulations");
+  obs::add_counter("eye.chunks", n_chunks);
+  obs::add_counter("eye.samples", out.total_samples());
+  obs::add_counter("eye.crossings", out.crossings().size());
+  obs::observe("eye.chunk_crossings", 0.0, 4096.0, 64,
+               static_cast<double>(out.crossings().size()) /
+                   static_cast<double>(n_chunks));
   return out;
 }
 

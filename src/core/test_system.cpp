@@ -8,6 +8,7 @@
 #include "digital/bitstream.hpp"
 #include "digital/jtag.hpp"
 #include "digital/pattern.hpp"
+#include "obs/obs.hpp"
 #include "signal/render.hpp"
 #include "signal/sinks.hpp"
 #include "util/error.hpp"
@@ -286,6 +287,25 @@ fault::HealthReport TestSystem::self_test() {
                ok ? "" : "edge lost in hookup");
   }
 
+  // Observability: surface MGT_THREADS misconfiguration (the parse layer
+  // rejected the value and fell back to serial) and fold a census of the
+  // metrics registry into the report.
+  {
+    obs::refresh_bridged();
+    const std::uint64_t rejections = util::thread_env_rejections();
+    if (rejections > 0) {
+      report.add("obs", fault::HealthStatus::kDegraded,
+                 "MGT_THREADS rejected as malformed or out of range (" +
+                     std::to_string(rejections) +
+                     " parse rejections); running serial");
+    } else if (!obs::enabled()) {
+      report.add("obs", fault::HealthStatus::kOk, "metrics disabled");
+    } else {
+      report.add("obs", fault::HealthStatus::kOk,
+                 obs::registry().summary());
+    }
+  }
+
   return report;
 }
 
@@ -299,6 +319,7 @@ void TestSystem::render_stimulus(const Stimulus& stimulus, std::size_t n_bits,
 
 ana::EyeDiagram TestSystem::acquire_eye(std::size_t n_bits,
                                         EyeOptions options) {
+  const obs::ProfileScope profile("core.acquire_eye");
   Stimulus stimulus = generate(n_bits);
   const sig::PeclLevels rails =
       effective_levels(stimulus.levels, stimulus.chain.gain());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace mgt::link {
@@ -166,6 +167,12 @@ std::vector<SendResult> LinkChannel::transfer(
   std::vector<SendResult> results(n);
   std::vector<std::size_t> attempts(n, 0);
   stats_.offered += n;
+  // The transfer loop is strictly serial (one channel, one tick domain),
+  // so a span over the protocol-tick range and delta counters recorded at
+  // the end are as deterministic as stats_ itself.
+  const obs::TickSpan span("link.transfer", tick_);
+  const obs::ProfileScope profile("link.transfer", &tick_);
+  const LinkStats before = stats_;
 
   std::size_t base = 0;
   std::size_t retries = 0;  // rounds without progress for the current base
@@ -266,6 +273,18 @@ std::vector<SendResult> LinkChannel::transfer(
       backoff = config_.arq.timeout_slots;
     }
   }
+  obs::add_counter("link.offered", n);
+  obs::add_counter("link.delivered", stats_.delivered - before.delivered);
+  obs::add_counter("link.abandoned", stats_.abandoned - before.abandoned);
+  obs::add_counter("link.reconciled", stats_.reconciled - before.reconciled);
+  obs::add_counter("link.retransmissions",
+                   stats_.retransmissions - before.retransmissions);
+  obs::add_counter("link.timeouts", stats_.timeouts - before.timeouts);
+  obs::add_counter("link.rejected_acks",
+                   stats_.rejected_acks - before.rejected_acks);
+  obs::add_counter("link.resync_slots",
+                   stats_.resync_slots - before.resync_slots);
+  obs::set_gauge("link.rate_steps", static_cast<double>(rate_steps_));
   return results;
 }
 

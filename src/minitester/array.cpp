@@ -1,5 +1,6 @@
 #include "minitester/array.hpp"
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -23,6 +24,7 @@ double TesterArray::wafer_time_s(std::size_t n_dies, std::size_t n_testers,
 }
 
 TesterArray::WaferResult TesterArray::probe_wafer(std::size_t n_dies) {
+  const obs::ProfileScope profile("minitester.probe_wafer");
   WaferResult out;
   out.dies = n_dies;
   out.touchdowns = (n_dies + config_.testers - 1) / config_.testers;
@@ -86,6 +88,18 @@ TesterArray::WaferResult TesterArray::probe_wafer(std::size_t n_dies) {
     out.overkills += o.overkill ? 1 : 0;
     out.masked += o.masked ? 1 : 0;
   }
+  // Serial epilogue: totals come from the ordered reduction, so every value
+  // is identical at any worker count. The span covers the wafer in its
+  // natural tick domain — touchdown count accumulated across wafers.
+  obs::record_span("minitester.wafer", touchdowns_done_,
+                   touchdowns_done_ + out.touchdowns);
+  touchdowns_done_ += out.touchdowns;
+  obs::add_counter("minitester.wafers");
+  obs::add_counter("minitester.dies", out.dies);
+  obs::add_counter("minitester.fails", out.fails);
+  obs::add_counter("minitester.escapes", out.escapes);
+  obs::add_counter("minitester.overkills", out.overkills);
+  obs::add_counter("minitester.masked", out.masked);
   return out;
 }
 

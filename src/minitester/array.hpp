@@ -72,6 +72,9 @@ public:
 private:
   Config config_;
   std::uint64_t seed_;
+  /// Cumulative touchdown count across probe_wafer calls: the tick domain
+  /// for the "minitester.wafer" trace spans.
+  std::uint64_t touchdowns_done_ = 0;
 };
 
 }  // namespace mgt::minitester

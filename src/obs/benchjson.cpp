@@ -1,0 +1,183 @@
+#include "obs/benchjson.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace mgt::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+void append_string_array(std::ostringstream& os,
+                         const std::vector<std::string>& items) {
+  os << "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << "\"" << json_escape(items[i]) << "\"";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream os;
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c));
+          out += os.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string metrics_json() {
+  refresh_bridged();
+  const Registry& r = registry();
+  std::ostringstream os;
+  os << "{\n    \"counters\": {";
+  {
+    const auto counters = r.counter_values();
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "\"" << json_escape(counters[i].first)
+         << "\": " << counters[i].second;
+    }
+  }
+  os << "},\n    \"gauges\": {";
+  {
+    const auto gauges = r.gauge_values();
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "\"" << json_escape(gauges[i].first)
+         << "\": " << fmt_double(gauges[i].second);
+    }
+  }
+  os << "},\n    \"histograms\": {";
+  {
+    const auto hists = r.histogram_values();
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+      const Histogram& h = hists[i].second;
+      os << (i == 0 ? "" : ", ") << "\"" << json_escape(hists[i].first)
+         << "\": {\"lo\": " << fmt_double(h.lo())
+         << ", \"hi\": " << fmt_double(h.hi())
+         << ", \"underflow\": " << h.underflow()
+         << ", \"overflow\": " << h.overflow() << ", \"total\": " << h.total()
+         << ", \"counts\": [";
+      for (std::size_t b = 0; b < h.bin_count(); ++b) {
+        os << (b == 0 ? "" : ", ") << h.bin(b);
+      }
+      os << "]}";
+    }
+  }
+  os << "},\n    \"spans\": [";
+  {
+    const auto spans = r.spans();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "{\"name\": \""
+         << json_escape(spans[i].name) << "\", \"begin\": " << spans[i].begin
+         << ", \"end\": " << spans[i].end << "}";
+    }
+  }
+  os << "],\n    \"profile\": [";
+  {
+    // Deterministic halves only; wall_ns lives in the wallclock_ns section.
+    const auto profiles = r.profile_values();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "{\"name\": \""
+         << json_escape(profiles[i].first)
+         << "\", \"calls\": " << profiles[i].second.calls
+         << ", \"ticks\": " << profiles[i].second.ticks << "}";
+    }
+  }
+  os << "]\n  }";
+  return os.str();
+}
+
+std::string bench_json(const ReportTable& table, std::string_view bench_name) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"mgt-bench-v1\",\n";
+  os << "  \"bench\": \"" << json_escape(bench_name) << "\",\n";
+  os << "  \"obs_enabled\": " << (enabled() ? "true" : "false") << ",\n";
+  os << "  \"table\": {\n    \"title\": \"" << json_escape(table.title())
+     << "\",\n    \"headers\": ";
+  append_string_array(os, table.headers());
+  os << ",\n    \"rows\": [";
+  const auto& rows = table.rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << (i == 0 ? "" : ", ");
+    append_string_array(os, rows[i]);
+  }
+  os << "]\n  },\n";
+  os << "  \"metrics\": " << metrics_json() << ",\n";
+  // Wall-clock quarantine: the only non-deterministic section of the
+  // document, kept out of "metrics" so trajectory diffs stay clean.
+  os << "  \"wallclock_ns\": {\"profile\": {";
+  {
+    const auto profiles = registry().profile_values();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "\"" << json_escape(profiles[i].first)
+         << "\": " << profiles[i].second.wall_ns;
+    }
+  }
+  os << "}}\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string write_bench_json(const ReportTable& table,
+                             std::string_view bench_name,
+                             std::string_view dir) {
+  std::string path = std::string(dir);
+  if (!path.empty() && path.back() != '/') {
+    path += '/';
+  }
+  path += "BENCH_" + std::string(bench_name) + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return {};
+  }
+  out << bench_json(table, bench_name);
+  return path;
+}
+
+std::string bench_name_from_argv0(std::string_view argv0) {
+  const auto slash = argv0.find_last_of('/');
+  std::string_view base =
+      slash == std::string_view::npos ? argv0 : argv0.substr(slash + 1);
+  if (base.starts_with("bench_")) {
+    base.remove_prefix(6);
+  }
+  return std::string(base);
+}
+
+}  // namespace mgt::obs

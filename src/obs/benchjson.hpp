@@ -1,0 +1,44 @@
+// Structured JSON export for the bench harness: every bench binary emits
+// BENCH_<name>.json (schema "mgt-bench-v1") so the perf trajectory can be
+// tracked mechanically run over run.
+//
+// Document layout (full schema in EXPERIMENTS.md):
+//   {
+//     "schema": "mgt-bench-v1",
+//     "bench": "<name>",
+//     "table": {"title": ..., "headers": [...], "rows": [[...], ...]},
+//     "metrics": {counters/gauges/histograms/spans/profile — deterministic},
+//     "wallclock_ns": {"profile": {...}}   // quarantined, non-deterministic
+//   }
+// Everything under "metrics" is byte-identical at every MGT_THREADS
+// setting; only "wallclock_ns" may differ between runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/table.hpp"
+
+namespace mgt::obs {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// The registry's deterministic state as one JSON object (the "metrics"
+/// document section).
+[[nodiscard]] std::string metrics_json();
+
+/// Renders the full mgt-bench-v1 document.
+[[nodiscard]] std::string bench_json(const ReportTable& table,
+                                     std::string_view bench_name);
+
+/// Writes BENCH_<bench_name>.json into `dir` and returns the path, or an
+/// empty string when the file could not be opened.
+std::string write_bench_json(const ReportTable& table,
+                             std::string_view bench_name,
+                             std::string_view dir = ".");
+
+/// "bench_fig07_eye_2g5" (or a path ending in it) -> "fig07_eye_2g5".
+[[nodiscard]] std::string bench_name_from_argv0(std::string_view argv0);
+
+}  // namespace mgt::obs

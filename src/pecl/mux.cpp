@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace mgt::pecl {
@@ -110,6 +111,11 @@ BitVector SerializerTree::faulted_bits(const BitVector& bits) const {
 sig::EdgeStream SerializerTree::serialize(const BitVector& bits,
                                           GbitsPerSec rate, Picoseconds t0) {
   MGT_CHECK(rate.gbps() > 0.0);
+  obs::add_counter("pecl.mux.serializations");
+  obs::add_counter("pecl.mux.bits", bits.size());
+  if (faults_.any()) {
+    obs::add_counter("pecl.mux.faulted_serializations");
+  }
   const double sigma = total_rj_sigma().ps();
   const Picoseconds start = t0 + total_prop_delay();
   auto offset = [this, sigma](std::size_t bit_index, Picoseconds) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace mgt::sig {
@@ -89,6 +90,8 @@ void render(const EdgeStream& stream, FilterChain chain,
             const RenderConfig& config, Picoseconds t_begin,
             Picoseconds t_end, const std::vector<WaveformSink*>& sinks) {
   const std::size_t total = render_sample_count(config, t_begin, t_end);
+  obs::add_counter("render.calls");
+  obs::add_counter("render.samples", total);
   run_window(stream, chain, config, t_begin, 0, 0, total, sinks);
   for (WaveformSink* sink : sinks) {
     sink->finish();
@@ -118,6 +121,10 @@ void render_chunk(const EdgeStream& stream, FilterChain chain,
   const std::size_t k1 = std::min(k0 + chunking.chunk_samples, total);
   const std::size_t settle =
       chunk_index == 0 ? 0 : std::min(chunking.settle_samples, k0);
+  // Counter additions are commutative, so these are worker-thread safe:
+  // render_chunk is the unit parallel_for fans out over.
+  obs::add_counter("render.chunks");
+  obs::add_counter("render.chunk_samples", k1 - k0);
   run_window(stream, chain, config, t_begin, k0 - settle, k0, k1, sinks);
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -34,6 +35,19 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t task_index);
 /// Independent per-task Rng stream for task `task_index` of a run seeded
 /// with `seed`. Two distinct (seed, index) pairs yield decorrelated streams.
 Rng task_rng(std::uint64_t seed, std::uint64_t task_index);
+
+/// Strict parse of an MGT_THREADS-style worker-count string. Returns the
+/// count (nullptr/empty mean "unset" and parse as 0), or nullopt for a
+/// malformed or out-of-range value: trailing garbage ("8x"), negatives,
+/// and magnitudes strtol can only saturate ("999...9" -> LONG_MAX) are all
+/// rejections, never silent truncations. Pure; exposed for the test matrix.
+std::optional<std::size_t> parse_thread_count(const char* raw);
+
+/// How many times the MGT_THREADS environment value was rejected by
+/// parse_thread_count and replaced with the serial fallback. Bridged into
+/// the obs registry as counter "mgt.threads.rejected" so misconfiguration
+/// is visible in metrics snapshots and self_test reports.
+std::uint64_t thread_env_rejections();
 
 /// Worker count this process would use for parallel sections:
 ///   - set_thread_override(n) wins if called (tests, benches),

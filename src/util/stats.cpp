@@ -93,22 +93,43 @@ double Histogram::quantile(double q) const {
   MGT_CHECK(q >= 0.0 && q <= 1.0);
   const std::size_t in_range = total_ - underflow_ - overflow_;
   MGT_CHECK(in_range > 0, "quantile of empty histogram");
+  // The populated support: empty leading/trailing bins carry no sample
+  // mass, so no quantile may ever land inside them.
+  std::size_t first = 0;
+  while (counts_[first] == 0) {
+    ++first;
+  }
+  std::size_t last = counts_.size() - 1;
+  while (counts_[last] == 0) {
+    --last;
+  }
+  if (q == 0.0) {
+    return lo_ + static_cast<double>(first) * width_;
+  }
+  if (q == 1.0) {
+    return lo_ + static_cast<double>(last + 1) * width_;
+  }
   const double target = q * static_cast<double>(in_range);
   double cum = 0.0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
+  for (std::size_t i = first; i <= last; ++i) {
+    // Skip bins with no mass: `cum + 0 >= target` can hold at a bin the
+    // target sits exactly on top of, and interpolating into it would
+    // report a value no recorded sample reaches.
+    if (counts_[i] == 0) {
+      continue;
+    }
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {
-      const double frac =
-          counts_[i] == 0 ? 0.0
-                          : (target - cum) / static_cast<double>(counts_[i]);
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
       return lo_ + (static_cast<double>(i) + frac) * width_;
     }
     cum = next;
   }
-  return hi_;
+  return lo_ + static_cast<double>(last + 1) * width_;
 }
 
 std::size_t Histogram::mode_bin() const {
+  MGT_CHECK(total_ - underflow_ - overflow_ > 0, "mode of empty histogram");
   return static_cast<std::size_t>(
       std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
 }

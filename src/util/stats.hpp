@@ -55,10 +55,14 @@ public:
   [[nodiscard]] std::size_t total() const { return total_; }
 
   /// Value below which `q` (0..1) of the in-range samples fall, by linear
-  /// interpolation within the containing bin. Requires in-range samples.
+  /// interpolation within the containing bin. Empty bins are skipped until
+  /// sample mass is actually crossed; q=0 and q=1 return the lower edge of
+  /// the first and the upper edge of the last populated bin, so the result
+  /// always lies within the recorded support. Requires in-range samples.
   [[nodiscard]] double quantile(double q) const;
 
-  /// Index of the fullest bin.
+  /// Index of the fullest bin. Requires in-range samples (an empty
+  /// histogram has no mode to report).
   [[nodiscard]] std::size_t mode_bin() const;
 
   void reset();

@@ -24,6 +24,15 @@ public:
 
   void print(std::ostream& os) const;
 
+  // Structured access for exporters (obs::write_bench_json).
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
 private:
   std::string title_;
   std::vector<std::string> headers_;

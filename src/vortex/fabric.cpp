@@ -2,6 +2,7 @@
 
 #include <iterator>
 
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace mgt::vortex {
@@ -68,6 +69,7 @@ bool DataVortex::inject(Packet packet, std::size_t port) {
     // is counted in rejected_injections only (never in injected), keeping
     // attempts == injected + rejected_injections exact.
     ++stats_.rejected_injections;
+    obs::add_counter("vortex.backpressure");
     return false;
   }
   packet.injected_slot = stats_.slots;
@@ -75,6 +77,7 @@ bool DataVortex::inject(Packet packet, std::size_t port) {
   packet.deflections = 0;
   entry = std::move(packet);
   ++stats_.injected;
+  obs::add_counter("vortex.injected");
   return true;
 }
 
@@ -96,6 +99,7 @@ bool DataVortex::inject_with_retry(const Packet& packet, std::size_t port,
 }
 
 std::vector<Delivery> DataVortex::step() {
+  const FabricStats before = stats_;
   std::vector<std::optional<Packet>> next(nodes_.size());
   std::vector<Delivery> delivered;
   std::vector<bool> output_taken(geometry_.height_count, false);
@@ -195,6 +199,11 @@ std::vector<Delivery> DataVortex::step() {
 
   nodes_ = std::move(next);
   ++stats_.slots;
+  obs::add_counter("vortex.slots");
+  obs::add_counter("vortex.delivered", stats_.delivered - before.delivered);
+  obs::add_counter("vortex.deflections",
+                   stats_.deflections - before.deflections);
+  obs::add_counter("vortex.dropped", stats_.dropped - before.dropped);
   return delivered;
 }
 

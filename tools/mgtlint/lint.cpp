@@ -248,6 +248,7 @@ public:
     const auto& toks = lexed_.tokens;
     for (std::size_t i = 0; i < toks.size(); ++i) {
       check_determinism(i);
+      check_wallclock_metric(i);
       check_units(i);
       check_contracts(i);
       track_classes(i);
@@ -322,6 +323,87 @@ private:
                "iterating unordered container '" + std::string(t.text) +
                    "' has unspecified order; use a sorted/ordered container "
                    "in reduction paths");
+      }
+    }
+  }
+
+  // --- wall-clock into metrics ---
+
+  static bool wallclock_source(std::string_view name) {
+    return name == "steady_clock" || name == "system_clock" ||
+           name == "high_resolution_clock" || name == "clock_gettime" ||
+           name == "gettimeofday" || name == "rdtsc" || name == "__rdtsc";
+  }
+
+  /// Wall-clock values flowing into an obs metric sink. The obs snapshot is
+  /// contractually deterministic, so a clock read anywhere in the argument
+  /// list of add_counter/set_gauge/observe/record_span — or of a chained
+  /// counter()/gauge()/histogram() update — poisons it. Unlike the broad
+  /// no-wall-clock rule this applies to EVERY file kind, bench/ included:
+  /// benches may time themselves, but never through a metric. profile_add
+  /// is exempt by construction — it is the designated wall-clock channel.
+  void check_wallclock_metric(std::size_t i) {
+    const Token& t = tok(i);
+    if (t.kind != TokKind::kIdent || !next_is(i, "(")) {
+      return;
+    }
+    bool sink = !member_access_before(i) &&
+                (t.text == "add_counter" || t.text == "set_gauge" ||
+                 t.text == "observe" || t.text == "record_span");
+    if (!sink && member_access_before(i) &&
+        (t.text == "add" || t.text == "set" || t.text == "observe")) {
+      // `registry().counter("x").add(v)`: walk back over the accessor's
+      // balanced parens to the identifier naming it.
+      const std::size_t dot = i - 1;
+      if (dot >= 1 && tok(dot - 1).text == ")") {
+        std::size_t k = dot - 1;
+        int depth = 0;
+        while (true) {
+          if (tok(k).text == ")") {
+            ++depth;
+          } else if (tok(k).text == "(" && --depth == 0) {
+            break;
+          }
+          if (k == 0) {
+            return;
+          }
+          --k;
+        }
+        if (k >= 1 && (tok(k - 1).text == "counter" ||
+                       tok(k - 1).text == "gauge" ||
+                       tok(k - 1).text == "histogram")) {
+          sink = true;
+        }
+      }
+    }
+    if (!sink) {
+      return;
+    }
+    std::size_t j = i + 1;  // at '('
+    int depth = 0;
+    for (; j < size(); ++j) {
+      if (tok(j).text == "(") {
+        ++depth;
+        continue;
+      }
+      if (tok(j).text == ")") {
+        if (--depth == 0) {
+          break;
+        }
+        continue;
+      }
+      if (depth >= 1 && tok(j).kind == TokKind::kIdent) {
+        const std::string_view x = tok(j).text;
+        const bool time_call =
+            x == "time" && next_is(j, "(") && !member_access_before(j);
+        if (wallclock_source(x) || time_call) {
+          report(i, rules::kWallclockMetric,
+                 "wall-clock value '" + std::string(x) +
+                     "' feeds metric sink '" + std::string(t.text) +
+                     "'; obs metrics must be simulation-derived (profile "
+                     "scopes are the wall-clock channel)");
+          return;
+        }
       }
     }
   }
@@ -731,7 +813,7 @@ const std::vector<std::string_view>& all_rules() {
       rules::kUnitDouble,     rules::kFloat,     rules::kAssert,
       rules::kUsingNamespace, rules::kExplicitCtor,
       rules::kCatchIgnore,    rules::kCatchByValue,
-      rules::kUncheckedStatus,
+      rules::kUncheckedStatus, rules::kWallclockMetric,
   };
   return kRules;
 }

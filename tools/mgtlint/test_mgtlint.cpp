@@ -165,6 +165,84 @@ TEST(MgtlintDeterminism, OrderedContainerIterationFine) {
                      "no-unordered-iter"));
 }
 
+// --------------------------------------------------- wall-clock -> metrics --
+
+TEST(MgtlintWallclockMetric, ClockIntoFreeHelperBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f() {
+      obs::add_counter("x", std::chrono::steady_clock::now()
+                                .time_since_epoch().count());
+    }
+  )",
+                    "no-wallclock-metric"));
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f() { obs::set_gauge("t", (double)time(nullptr)); }
+  )",
+                    "no-wallclock-metric"));
+}
+
+TEST(MgtlintWallclockMetric, ClockIntoChainedUpdateBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f() {
+      obs::registry().counter("x").add(clock_gettime(0, nullptr));
+    }
+  )",
+                    "no-wallclock-metric"));
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f() {
+      obs::registry().histogram("h", 0.0, 1.0, 8).observe(rdtsc());
+    }
+  )",
+                    "no-wallclock-metric"));
+}
+
+TEST(MgtlintWallclockMetric, FiresInBenchFilesToo) {
+  // The broad no-wall-clock rule exempts bench/; this one does not — a
+  // bench may time itself, but never through a metric.
+  EXPECT_TRUE(fires("bench/bench_x.cpp", R"(
+    void f() {
+      obs::add_counter("x", std::chrono::steady_clock::now()
+                                .time_since_epoch().count());
+    }
+  )",
+                    "no-wallclock-metric"));
+}
+
+TEST(MgtlintWallclockMetric, SimValuesMembersAndProfileFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f(std::uint64_t n) { obs::add_counter("x", n); }
+  )",
+                     "no-wallclock-metric"));
+  // `.time()` is a member read, not the libc wall clock.
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f(const Span& s) { obs::set_gauge("t", s.time()); }
+  )",
+                     "no-wallclock-metric"));
+  // profile_add is the designated wall-clock channel (quarantined from the
+  // deterministic snapshot), so it is exempt by construction.
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f(std::uint64_t wall_ns) {
+      obs::registry().profile_add("scope", 1, 0, wall_ns);
+    }
+  )",
+                     "no-wallclock-metric"));
+  // An unrelated call chain ending in .add() is not a metric sink.
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f() { widget().add(std::chrono::steady_clock::now()); }
+  )",
+                     "no-wallclock-metric"));
+}
+
+TEST(MgtlintWallclockMetric, Allowlisted) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f() {
+      // mgtlint:allow(no-wallclock-metric)
+      obs::add_counter("x", (unsigned long long)time(nullptr));
+    }
+  )",
+                     "no-wallclock-metric"));
+}
+
 // ------------------------------------------------------------ unit safety --
 
 TEST(MgtlintUnits, RawDoubleParameterBad) {
@@ -505,7 +583,7 @@ TEST(MgtlintMisc, ClassifyPath) {
 
 TEST(MgtlintMisc, AllRulesListsEveryRuleOnce) {
   const auto& rules = mgtlint::all_rules();
-  EXPECT_EQ(rules.size(), 13u);
+  EXPECT_EQ(rules.size(), 14u);
   for (const auto rule : rules) {
     EXPECT_EQ(std::count(rules.begin(), rules.end(), rule), 1)
         << std::string(rule);
