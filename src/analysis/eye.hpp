@@ -69,6 +69,11 @@ public:
   explicit EyeDiagram(Config config);
 
   void on_sample(Picoseconds t, Millivolts v) override;
+  /// Batched accumulation: the crossing scan and the voltage-to-bin-fraction
+  /// transform run through the SIMD kernels over the SoA arrays; the phase
+  /// fold and center-window statistics stay scalar in sample order. Result
+  /// state is byte-identical to per-sample delivery.
+  void on_block(const sig::SampleBlock& block) override;
   void on_context(Picoseconds t, Millivolts v) override;
 
   /// Folds another eye accumulated over a later, disjoint part of the same

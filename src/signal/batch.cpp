@@ -1,0 +1,106 @@
+#include "signal/batch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace mgt::sig {
+
+namespace {
+
+std::atomic<std::uint64_t> g_env_rejections{0};
+
+// Override state: -1 = no override, otherwise a SimdBackend value. Plain
+// int through an atomic so active_backend() is safe to call from kernel
+// code running on worker threads.
+std::atomic<int> g_override{-1};
+
+SimdBackend env_backend() {
+  const std::optional<SimdBackend> parsed =
+      parse_simd_backend(std::getenv("MGT_SIMD"));
+  if (!parsed.has_value()) {
+    // Misconfiguration falls back to the compiled default (always correct —
+    // backends are byte-identical) and is counted for self tests.
+    g_env_rejections.fetch_add(1, std::memory_order_relaxed);
+    return compiled_backend();
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+SimdBackend compiled_backend() {
+#if defined(__SSE2__)
+  return SimdBackend::kSse2;
+#else
+  return SimdBackend::kScalar;
+#endif
+}
+
+std::optional<SimdBackend> parse_simd_backend(const char* raw) {
+  if (raw == nullptr || *raw == '\0') {
+    return compiled_backend();  // unset, not malformed
+  }
+  const std::string_view text{raw};
+  if (text == "0" || text == "off" || text == "scalar") {
+    return SimdBackend::kScalar;
+  }
+  if (text == "1" || text == "on" || text == "auto") {
+    return compiled_backend();
+  }
+  if (text == "sse2") {
+    // Asking for SSE2 on a build without it degrades to scalar: results are
+    // byte-identical either way, so this is a performance knob, not an error.
+    return compiled_backend();
+  }
+  return std::nullopt;
+}
+
+std::uint64_t simd_env_rejections() {
+  return g_env_rejections.load(std::memory_order_relaxed);
+}
+
+SimdBackend active_backend() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return static_cast<SimdBackend>(forced);
+  }
+  static const SimdBackend env = env_backend();
+  return env;
+}
+
+void set_backend_override(SimdBackend backend) {
+  g_override.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+void clear_backend_override() {
+  g_override.store(-1, std::memory_order_relaxed);
+}
+
+ScopedSimdBackend::ScopedSimdBackend(SimdBackend backend) {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    previous_ = static_cast<SimdBackend>(forced);
+  }
+  set_backend_override(backend);
+}
+
+ScopedSimdBackend::~ScopedSimdBackend() {
+  if (previous_.has_value()) {
+    set_backend_override(*previous_);
+  } else {
+    clear_backend_override();
+  }
+}
+
+const char* backend_name(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kSse2:
+      return "sse2";
+  }
+  return "unknown";
+}
+
+}  // namespace mgt::sig

@@ -1,0 +1,173 @@
+// The only translation unit in the tree allowed to touch vendor intrinsics
+// (mgtlint rule no-intrinsics-outside-kernels). Keep every operation here
+// IEEE-exact and lanewise so the SSE2 and scalar variants stay
+// byte-identical; anything order-sensitive belongs in the caller.
+#include "signal/batch_kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "signal/batch.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace mgt::sig::kern {
+
+void range_minmax_scalar(const double* v, std::size_t n, double* out_min,
+                         double* out_max) {
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+  }
+  *out_min = mn;
+  *out_max = mx;
+}
+
+void range_minmax_sse2(const double* v, std::size_t n, double* out_min,
+                       double* out_max) {
+#if defined(__SSE2__)
+  if (n < 4) {
+    range_minmax_scalar(v, n, out_min, out_max);
+    return;
+  }
+  __m128d vmn = _mm_loadu_pd(v);
+  __m128d vmx = vmn;
+  std::size_t i = 2;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_loadu_pd(v + i);
+    vmn = _mm_min_pd(vmn, x);
+    vmx = _mm_max_pd(vmx, x);
+  }
+  double lanes_mn[2];
+  double lanes_mx[2];
+  _mm_storeu_pd(lanes_mn, vmn);
+  _mm_storeu_pd(lanes_mx, vmx);
+  double mn = std::min(lanes_mn[0], lanes_mn[1]);
+  double mx = std::max(lanes_mx[0], lanes_mx[1]);
+  for (; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+  }
+  *out_min = mn;
+  *out_max = mx;
+#else
+  range_minmax_scalar(v, n, out_min, out_max);
+#endif
+}
+
+void range_minmax(const double* v, std::size_t n, double* out_min,
+                  double* out_max) {
+  if (active_backend() == SimdBackend::kSse2) {
+    range_minmax_sse2(v, n, out_min, out_max);
+  } else {
+    range_minmax_scalar(v, n, out_min, out_max);
+  }
+}
+
+std::size_t find_straddles_scalar(double prev0, const double* v, std::size_t n,
+                                  double threshold,
+                                  std::uint32_t* out_indices) {
+  std::size_t count = 0;
+  bool prev_below = prev0 < threshold;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool below = v[i] < threshold;
+    if (below != prev_below) {
+      out_indices[count++] = static_cast<std::uint32_t>(i);
+    }
+    prev_below = below;
+  }
+  return count;
+}
+
+std::size_t find_straddles_sse2(double prev0, const double* v, std::size_t n,
+                                double threshold,
+                                std::uint32_t* out_indices) {
+#if defined(__SSE2__)
+  // Vectorized compare builds a below-threshold bitmap in 64-sample words;
+  // straddles are the bits where the bitmap differs from itself shifted by
+  // one. The comparisons are the exact same `v < threshold` predicates the
+  // scalar variant evaluates, so the index list is byte-identical.
+  std::size_t count = 0;
+  std::uint64_t prev_bit = prev0 < threshold ? 1u : 0u;
+  const __m128d th = _mm_set1_pd(threshold);
+  std::size_t base = 0;
+  while (base < n) {
+    const std::size_t len = std::min<std::size_t>(64, n - base);
+    std::uint64_t below = 0;
+    std::size_t i = 0;
+    for (; i + 2 <= len; i += 2) {
+      const __m128d x = _mm_loadu_pd(v + base + i);
+      const auto mask =
+          static_cast<std::uint64_t>(_mm_movemask_pd(_mm_cmplt_pd(x, th)));
+      below |= mask << i;
+    }
+    for (; i < len; ++i) {
+      below |= static_cast<std::uint64_t>(v[base + i] < threshold ? 1u : 0u)
+               << i;
+    }
+    std::uint64_t diff = below ^ ((below << 1) | prev_bit);
+    if (len < 64) {
+      diff &= (std::uint64_t{1} << len) - 1;
+    }
+    while (diff != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(diff));
+      out_indices[count++] = static_cast<std::uint32_t>(base + bit);
+      diff &= diff - 1;
+    }
+    prev_bit = (below >> (len - 1)) & 1u;
+    base += len;
+  }
+  return count;
+#else
+  return find_straddles_scalar(prev0, v, n, threshold, out_indices);
+#endif
+}
+
+std::size_t find_straddles(double prev0, const double* v, std::size_t n,
+                           double threshold, std::uint32_t* out_indices) {
+  if (active_backend() == SimdBackend::kSse2) {
+    return find_straddles_sse2(prev0, v, n, threshold, out_indices);
+  }
+  return find_straddles_scalar(prev0, v, n, threshold, out_indices);
+}
+
+void scale01_scalar(const double* v, std::size_t n, double lo, double span,
+                    double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (v[i] - lo) / span;
+  }
+}
+
+void scale01_sse2(const double* v, std::size_t n, double lo, double span,
+                  double* out) {
+#if defined(__SSE2__)
+  const __m128d vlo = _mm_set1_pd(lo);
+  const __m128d vspan = _mm_set1_pd(span);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_loadu_pd(v + i);
+    _mm_storeu_pd(out + i, _mm_div_pd(_mm_sub_pd(x, vlo), vspan));
+  }
+  for (; i < n; ++i) {
+    out[i] = (v[i] - lo) / span;
+  }
+#else
+  scale01_scalar(v, n, lo, span, out);
+#endif
+}
+
+void scale01(const double* v, std::size_t n, double lo, double span,
+             double* out) {
+  if (active_backend() == SimdBackend::kSse2) {
+    scale01_sse2(v, n, lo, span, out);
+  } else {
+    scale01_scalar(v, n, lo, span, out);
+  }
+}
+
+}  // namespace mgt::sig::kern

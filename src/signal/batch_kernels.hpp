@@ -1,0 +1,61 @@
+// SIMD batch kernels for the waveform engine.
+//
+// Each kernel exists in a portable scalar variant and an SSE2 variant, plus
+// an unsuffixed dispatcher that picks the variant for active_backend().
+// Every operation a kernel performs is IEEE-exact and lanewise (compare,
+// min, max, subtract, divide), so the variants are byte-identical on the
+// same inputs — this is the contract tests/test_simd_equiv.cpp enforces,
+// and it is why order-sensitive reductions (Welford statistics, crossing
+// interpolation) stay OUT of the kernels and run scalar in sample order.
+//
+// The matching .cpp is the only place in the tree allowed to use vendor
+// intrinsics (mgtlint rule no-intrinsics-outside-kernels).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgt::sig::kern {
+
+// ------------------------------------------------------------- min/max ----
+// Minimum and maximum over v[0, n). For n == 0 returns +inf/-inf (the
+// identity elements AmplitudeTracker already folds against). Exact at any
+// evaluation order for non-NaN data; the one caveat is that min/max do not
+// distinguish -0.0 from +0.0 (documented in DESIGN.md).
+
+void range_minmax_scalar(const double* v, std::size_t n, double* out_min,
+                         double* out_max);
+void range_minmax_sse2(const double* v, std::size_t n, double* out_min,
+                       double* out_max);
+void range_minmax(const double* v, std::size_t n, double* out_min,
+                  double* out_max);
+
+// ----------------------------------------------------------- straddles ----
+// Indices i in [0, n) where the pair (previous sample, v[i]) straddles the
+// threshold: (prev < threshold) != (v[i] < threshold), with the previous
+// sample being prev0 for i == 0 and v[i-1] otherwise. out_indices must hold
+// n entries; returns how many were written (ascending order). Pure
+// comparisons, so both variants are byte-identical — the interpolation at
+// each straddle stays with the caller.
+
+std::size_t find_straddles_scalar(double prev0, const double* v, std::size_t n,
+                                  double threshold,
+                                  std::uint32_t* out_indices);
+std::size_t find_straddles_sse2(double prev0, const double* v, std::size_t n,
+                                double threshold, std::uint32_t* out_indices);
+std::size_t find_straddles(double prev0, const double* v, std::size_t n,
+                           double threshold, std::uint32_t* out_indices);
+
+// ------------------------------------------------------------- scale01 ----
+// out[i] = (v[i] - lo) / span for i in [0, n): the voltage-to-bin-fraction
+// transform of the eye histogram. Lanewise subtract + divide, IEEE-exact in
+// both variants (no reciprocal-multiply shortcuts).
+
+void scale01_scalar(const double* v, std::size_t n, double lo, double span,
+                    double* out);
+void scale01_sse2(const double* v, std::size_t n, double lo, double span,
+                  double* out);
+void scale01(const double* v, std::size_t n, double lo, double span,
+             double* out);
+
+}  // namespace mgt::sig::kern

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/digest.hpp"
 #include "util/error.hpp"
 
 namespace mgt::sig {
@@ -179,6 +180,17 @@ bool EdgeStream::well_formed() const {
     level = tr.level;
   }
   return true;
+}
+
+std::uint64_t EdgeStream::content_digest() const {
+  util::Fnv64 f;
+  f.mix_bool(initial_);
+  f.mix_u64(transitions_.size());
+  for (const auto& tr : transitions_) {
+    f.mix_double(tr.time.ps());
+    f.mix_bool(tr.level);
+  }
+  return f.digest();
 }
 
 }  // namespace mgt::sig

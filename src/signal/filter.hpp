@@ -8,6 +8,7 @@
 // boundaries.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -53,12 +54,33 @@ public:
   /// Output without advancing time.
   [[nodiscard]] Millivolts output() const;
 
+  /// Stage time constants (read-only view; used for cache keying).
+  [[nodiscard]] const std::vector<double>& taus() const { return taus_; }
+  /// Gain reference midpoint (for cache keying alongside gain()).
+  [[nodiscard]] Millivolts midpoint() const {
+    return Millivolts{midpoint_mv_};
+  }
+
 private:
+  /// Returns the per-stage alphas 1 - exp(-dt/tau) for this dt, computing
+  /// and memoizing the row on first sight of the dt value. The renderer
+  /// revisits a handful of distinct dt values (the grid step and the edge
+  /// fragments around it) millions of times, so this removes exp() from the
+  /// per-sample path while staying byte-identical: a memoized alpha is the
+  /// very double the direct computation would produce.
+  const double* alpha_row(Picoseconds dt);
+
+  static constexpr std::size_t kAlphaMemoRows = 8;
+
   std::vector<double> taus_;      // per-stage time constants, ps
   std::vector<double> state_;     // per-stage outputs, mV
   double gain_ = 1.0;
   double midpoint_mv_ = 0.0;
   double passthrough_ = 0.0;  // last gain-scaled input, output when no poles
+  std::array<double, kAlphaMemoRows> memo_dt_{};  // dt key per memo row, ps
+  std::vector<double> memo_alpha_;  // kAlphaMemoRows x pole_count, row-major
+  std::size_t memo_rows_ = 0;       // valid rows
+  std::size_t memo_next_ = 0;       // round-robin replacement cursor
 };
 
 /// 20-80 % rise time of a single pole: tau * ln 4.

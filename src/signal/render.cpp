@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hpp"
+#include "signal/render_cache.hpp"
 #include "util/error.hpp"
 
 namespace mgt::sig {
@@ -39,6 +40,21 @@ void run_window(const EdgeStream& stream, FilterChain& chain,
   bool level = stream.level_at(Picoseconds{t_start});
   chain.reset(level_to_mv(level));
 
+  // Emitted samples accumulate into a SoA block and go out whole; the
+  // chain stepping below is unchanged from the per-sample engine, so the
+  // sample values (and the block-partitioned delivery, for sinks honoring
+  // the on_block contract) are byte-identical to it.
+  SampleBlock block;
+  auto flush = [&] {
+    if (block.size == 0) {
+      return;
+    }
+    for (WaveformSink* sink : sinks) {
+      sink->on_block(block);
+    }
+    block.clear();
+  };
+
   double now = t_start;
   for (std::size_t k = k_start; k < k_end; ++k) {
     const double t_sample = t_begin.ps() + static_cast<double>(k) * dt;
@@ -58,8 +74,9 @@ void run_window(const EdgeStream& stream, FilterChain& chain,
     }
     const Millivolts v = chain.output();
     if (k >= k_emit) {
-      for (WaveformSink* sink : sinks) {
-        sink->on_sample(Picoseconds{t_sample}, v);
+      block.push(t_sample, v.mv());
+      if (block.full()) {
+        flush();
       }
     } else if (k + 1 == k_emit) {
       for (WaveformSink* sink : sinks) {
@@ -67,6 +84,7 @@ void run_window(const EdgeStream& stream, FilterChain& chain,
       }
     }
   }
+  flush();
 }
 
 }  // namespace
@@ -119,13 +137,47 @@ void render_chunk(const EdgeStream& stream, FilterChain chain,
             "chunk index out of range");
   const std::size_t k0 = chunk_index * chunking.chunk_samples;
   const std::size_t k1 = std::min(k0 + chunking.chunk_samples, total);
+  // At least one settle sample for chunks past the first, whatever the
+  // configured depth: the sample at k0-1 doubles as the on_context() sample,
+  // and without it pairwise sinks would silently drop every adjacent pair
+  // straddling a chunk boundary (the settle_samples=0 regression in
+  // tests/test_simd_equiv.cpp). The configured depth remains the accuracy
+  // knob for chain-state convergence.
   const std::size_t settle =
-      chunk_index == 0 ? 0 : std::min(chunking.settle_samples, k0);
+      chunk_index == 0
+          ? 0
+          : std::min(std::max<std::size_t>(chunking.settle_samples, 1), k0);
   // Counter additions are commutative, so these are worker-thread safe:
   // render_chunk is the unit parallel_for fans out over.
   obs::add_counter("render.chunks");
   obs::add_counter("render.chunk_samples", k1 - k0);
-  run_window(stream, chain, config, t_begin, k0 - settle, k0, k1, sinks);
+
+  RenderCache& cache = RenderCache::instance();
+  if (!cache.enabled()) {
+    run_window(stream, chain, config, t_begin, k0 - settle, k0, k1, sinks);
+    return;
+  }
+  RenderCacheKey key;
+  key.stream_digest = stream.content_digest();
+  key.chain_digest = render_cache_chain_digest(chain);
+  key.voh = config.levels.voh;
+  key.vol = config.levels.vol;
+  key.sample_step = config.sample_step;
+  key.t_begin = t_begin;
+  key.k_emit = k0;
+  key.k_end = k1;
+  key.settle = settle;
+  if (cache.replay(key, config, sinks)) {
+    return;
+  }
+  // Miss: render with a recording tee appended so the chunk is admitted
+  // for the next identical render. The tee changes nothing the real sinks
+  // see — run_window treats it as one more sink.
+  RecordingSink recorder;
+  std::vector<WaveformSink*> tee = sinks;
+  tee.push_back(&recorder);
+  run_window(stream, chain, config, t_begin, k0 - settle, k0, k1, tee);
+  cache.insert(key, recorder);
 }
 
 }  // namespace mgt::sig

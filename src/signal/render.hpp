@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "signal/batch.hpp"
 #include "signal/edge.hpp"
 #include "signal/filter.hpp"
 #include "signal/levels.hpp"
@@ -27,6 +28,17 @@ public:
   virtual ~WaveformSink() = default;
   /// Called for each grid sample in time order.
   virtual void on_sample(Picoseconds t, Millivolts v) = 0;
+  /// Batch delivery: the renderer hands samples in SampleBlocks (time
+  /// order, partition-independent semantics). The default unrolls to
+  /// on_sample(), so per-sample sinks behave byte-identically; hot sinks
+  /// override this and run their loops over the SoA arrays. An override
+  /// must produce the same state as the per-sample replay for any
+  /// partitioning of the sample sequence into blocks.
+  virtual void on_block(const SampleBlock& block) {
+    for (std::size_t i = 0; i < block.size; ++i) {
+      on_sample(Picoseconds{block.t[i]}, Millivolts{block.v[i]});
+    }
+  }
   /// Called once after the last sample.
   virtual void finish() {}
   /// Called with the grid sample immediately preceding this sink's window
@@ -72,7 +84,10 @@ struct RenderChunking {
   /// Grid samples per chunk (task granularity). Must not depend on the
   /// worker count.
   std::size_t chunk_samples = 1u << 20;
-  /// Chain re-settle depth before each chunk after the first.
+  /// Chain re-settle depth before each chunk after the first. A floor of
+  /// one settle sample is always applied to such chunks so the on_context()
+  /// sample exists for every boundary; depth beyond that only affects how
+  /// precisely the chain state converges to the single-pass trajectory.
   std::size_t settle_samples = 32768;
 };
 

@@ -1,0 +1,243 @@
+#include "signal/render_cache.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/obs.hpp"
+#include "signal/batch.hpp"
+#include "util/digest.hpp"
+#include "util/error.hpp"
+
+namespace mgt::sig {
+
+namespace {
+
+constexpr std::size_t kDefaultBudgetMib = 256;
+
+std::size_t env_budget_bytes() {
+  const char* raw = std::getenv("MGT_RENDER_CACHE_MB");
+  if (raw == nullptr || *raw == '\0') {
+    return kDefaultBudgetMib << 20;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || parsed <= 0) {
+    return kDefaultBudgetMib << 20;  // malformed: keep the safe default
+  }
+  return static_cast<std::size_t>(parsed) << 20;
+}
+
+bool env_enabled() {
+  const char* raw = std::getenv("MGT_RENDER_CACHE");
+  if (raw == nullptr || *raw == '\0') {
+    return true;
+  }
+  const std::string_view text{raw};
+  return !(text == "0" || text == "off");
+}
+
+}  // namespace
+
+std::uint64_t RenderCacheKey::digest() const {
+  util::Fnv64 f;
+  f.mix_u64(stream_digest);
+  f.mix_u64(chain_digest);
+  f.mix_double(voh.mv());
+  f.mix_double(vol.mv());
+  f.mix_double(sample_step.ps());
+  f.mix_double(t_begin.ps());
+  f.mix_u64(k_emit);
+  f.mix_u64(k_end);
+  f.mix_u64(settle);
+  return f.digest();
+}
+
+std::uint64_t render_cache_chain_digest(const FilterChain& chain) {
+  util::Fnv64 f;
+  const std::vector<double>& taus = chain.taus();
+  f.mix_u64(taus.size());
+  for (double tau : taus) {
+    f.mix_double(tau);
+  }
+  f.mix_double(chain.gain());
+  f.mix_double(chain.midpoint().mv());
+  return f.digest();
+}
+
+void RecordingSink::on_sample(Picoseconds, Millivolts v) {
+  samples_.push_back(v.mv());
+}
+
+void RecordingSink::on_block(const SampleBlock& block) {
+  samples_.insert(samples_.end(), block.v, block.v + block.size);
+}
+
+void RecordingSink::on_context(Picoseconds, Millivolts v) {
+  context_value_ = v.mv();
+  has_context_ = true;
+}
+
+RenderCache& RenderCache::instance() {
+  static RenderCache cache;
+  return cache;
+}
+
+RenderCache::RenderCache()
+    : budget_bytes_(env_budget_bytes()), env_enabled_(env_enabled()) {}
+
+bool RenderCache::enabled() const {
+  if (override_ >= 0) {
+    return override_ != 0;
+  }
+  return env_enabled_;
+}
+
+void RenderCache::set_enabled_override(int forced) { override_ = forced; }
+
+int RenderCache::enabled_override() const { return override_; }
+
+std::size_t RenderCache::entry_cost(const Entry& e) {
+  return sizeof(Entry) + e.samples.size() * sizeof(double);
+}
+
+bool RenderCache::replay(const RenderCacheKey& key, const RenderConfig& config,
+                         const std::vector<WaveformSink*>& sinks) {
+  std::shared_ptr<const Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key.digest());
+    if (it == entries_.end()) {
+      obs::add_counter("render_cache.misses");
+      return false;
+    }
+    if (!(it->second->key == key)) {
+      // Digest collision: degrade to a miss (and do not replace the
+      // resident entry — first-in wins keeps the content deterministic).
+      obs::add_counter("render_cache.collisions");
+      obs::add_counter("render_cache.misses");
+      return false;
+    }
+    last_used_[it->first] = pass_;
+    entry = it->second;
+    obs::add_counter("render_cache.hits");
+  }
+
+  // Replay outside the lock: deliver the context sample, then the recorded
+  // voltages in the same SampleBlock partitioning run_window() uses, with
+  // times rebuilt by the renderer's own grid formula — byte-identical to a
+  // fresh render of the same key.
+  const double dt = config.sample_step.ps();
+  const double t0 = key.t_begin.ps();
+  if (entry->has_context) {
+    const double t_ctx =
+        t0 + static_cast<double>(key.k_emit - 1) * dt;
+    for (WaveformSink* sink : sinks) {
+      sink->on_context(Picoseconds{t_ctx}, Millivolts{entry->context_value});
+    }
+  }
+  MGT_CHECK(entry->samples.size() == key.k_end - key.k_emit,
+            "render cache entry does not cover its key window");
+  SampleBlock block;
+  for (std::uint64_t k = key.k_emit; k < key.k_end; ++k) {
+    block.push(t0 + static_cast<double>(k) * dt,
+               entry->samples[k - key.k_emit]);
+    if (block.full()) {
+      for (WaveformSink* sink : sinks) {
+        sink->on_block(block);
+      }
+      block.clear();
+    }
+  }
+  if (block.size > 0) {
+    for (WaveformSink* sink : sinks) {
+      sink->on_block(block);
+    }
+  }
+  return true;
+}
+
+void RenderCache::insert(const RenderCacheKey& key,
+                         const RecordingSink& recorded) {
+  auto entry = std::make_shared<Entry>();
+  entry->key = key;
+  entry->samples = recorded.samples();
+  entry->context_value = recorded.context().mv();
+  entry->has_context = recorded.has_context();
+  const std::size_t cost = entry_cost(*entry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cost > budget_bytes_ / 4) {
+    // A chunk this large would churn most of the cache for one reuse shot.
+    obs::add_counter("render_cache.oversize");
+    return;
+  }
+  const std::uint64_t digest = key.digest();
+  auto [it, inserted] = entries_.emplace(digest, std::move(entry));
+  if (!inserted) {
+    return;  // first-in wins (identical content or a counted collision)
+  }
+  last_used_[digest] = pass_;
+  bytes_ += cost;
+  obs::add_counter("render_cache.inserts");
+}
+
+void RenderCache::end_pass() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++pass_;
+  if (bytes_ <= budget_bytes_) {
+    return;
+  }
+  // Deterministic LRU: order candidates by (last-used pass, digest) — both
+  // thread-count independent — and evict until under budget.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> order;  // (pass, digest)
+  order.reserve(last_used_.size());
+  for (const auto& [digest, used] : last_used_) {
+    order.emplace_back(used, digest);
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [used, digest] : order) {
+    if (bytes_ <= budget_bytes_) {
+      break;
+    }
+    auto it = entries_.find(digest);
+    MGT_CHECK(it != entries_.end(), "render cache index out of sync");
+    bytes_ -= entry_cost(*it->second);
+    entries_.erase(it);
+    last_used_.erase(digest);
+    obs::add_counter("render_cache.evictions");
+  }
+}
+
+void RenderCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  last_used_.clear();
+  bytes_ = 0;
+  pass_ = 1;
+}
+
+std::size_t RenderCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t RenderCache::entry_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t RenderCache::budget_bytes() const { return budget_bytes_; }
+
+ScopedRenderCache::ScopedRenderCache(bool on)
+    : previous_(RenderCache::instance().enabled_override()) {
+  RenderCache::instance().set_enabled_override(on ? 1 : 0);
+}
+
+ScopedRenderCache::~ScopedRenderCache() {
+  RenderCache::instance().set_enabled_override(previous_);
+}
+
+}  // namespace mgt::sig

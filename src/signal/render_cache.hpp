@@ -1,0 +1,159 @@
+// Content-addressed render cache.
+//
+// Shmoo grids and repeated eye scans re-render the same PRBS stimulus
+// through the same channel at every grid cell; render_chunk() therefore
+// caches rendered chunks keyed on everything the sample values depend on:
+// the edge-stream content digest (which subsumes the pattern seed that
+// generated it), the filter-chain parameters, the drive levels, the sample
+// grid (step + origin), and the exact chunk bounds including the settle
+// depth. A hit replays the recorded samples through the sinks with times
+// recomputed by the renderer's own formula, so a replay is byte-identical
+// to a fresh render — MGT_RENDER_CACHE=0 (the kill switch) and cache-on
+// runs produce the same bytes, which tests/test_simd_equiv.cpp enforces.
+//
+// Determinism contract:
+//   - Hit/miss/insert totals are pure functions of the render sequence, not
+//     of MGT_THREADS: within one chunked pass every chunk has a distinct
+//     key, so concurrent lookups never race on the same key.
+//   - Eviction happens only at end_pass() — a serial point the accumulation
+//     drivers call after their ordered merge — and scans entries in
+//     (last-used pass, digest) order, so the evicted set is identical at
+//     every worker count.
+//   - Entry bytes/counts are exposed as accessors rather than gauges; the
+//     obs gauge contract (serial writers only) is the caller's to honor.
+//
+// Environment:
+//   MGT_RENDER_CACHE=0       disable (default: enabled)
+//   MGT_RENDER_CACHE_MB=<n>  capacity budget in MiB (default 256); entries
+//                            larger than a quarter of the budget are never
+//                            admitted (one-shot giant windows would only
+//                            churn the cache).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "signal/render.hpp"
+#include "util/units.hpp"
+
+namespace mgt::sig {
+
+/// Everything a rendered chunk's sample values depend on. Two renders with
+/// equal keys produce byte-identical samples; the digest() is the map key
+/// and full keys are compared on lookup so hash collisions degrade to
+/// misses, never to wrong samples.
+struct RenderCacheKey {
+  std::uint64_t stream_digest = 0;  // EdgeStream::content_digest()
+  std::uint64_t chain_digest = 0;   // render_cache_chain_digest()
+  Millivolts voh{0.0};
+  Millivolts vol{0.0};
+  Picoseconds sample_step{0.0};
+  Picoseconds t_begin{0.0};
+  std::uint64_t k_emit = 0;  // first emitted grid index (chunk start)
+  std::uint64_t k_end = 0;   // one past the last emitted grid index
+  std::uint64_t settle = 0;  // settle samples rendered before k_emit
+
+  friend bool operator==(const RenderCacheKey&,
+                         const RenderCacheKey&) = default;
+
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// Digest of the FilterChain parameters that shape the rendered waveform
+/// (time constants, gain, midpoint). Chain *state* is excluded on purpose:
+/// render_chunk resets the chain to the stream's steady state before the
+/// window, so state never reaches the samples.
+[[nodiscard]] std::uint64_t render_cache_chain_digest(const FilterChain& chain);
+
+/// Tee sink appended on a cache miss: records the emitted samples (and the
+/// context sample, when one is delivered) for insertion.
+class RecordingSink final : public WaveformSink {
+public:
+  void on_sample(Picoseconds t, Millivolts v) override;
+  void on_block(const SampleBlock& block) override;
+  void on_context(Picoseconds t, Millivolts v) override;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  [[nodiscard]] bool has_context() const { return has_context_; }
+  [[nodiscard]] Millivolts context() const { return Millivolts{context_value_}; }
+
+private:
+  std::vector<double> samples_;  // emitted voltages, mV, grid order
+  double context_value_ = 0.0;
+  bool has_context_ = false;
+};
+
+/// Process-wide chunk cache. Thread safe; see the determinism contract in
+/// the file comment.
+class RenderCache {
+public:
+  static RenderCache& instance();
+
+  /// Active = compiled in + env + override.
+  [[nodiscard]] bool enabled() const;
+
+  /// Feeds a cached chunk into `sinks` (context first, then sample blocks
+  /// with times rebuilt from the grid formula). Returns false on miss or
+  /// digest collision. Counts render_cache.hits / .misses / .collisions.
+  bool replay(const RenderCacheKey& key, const RenderConfig& config,
+              const std::vector<WaveformSink*>& sinks);
+
+  /// Admits a freshly rendered chunk. Oversize entries are rejected
+  /// (render_cache.oversize); an entry already present for the digest is
+  /// kept unchanged. Counts render_cache.inserts.
+  void insert(const RenderCacheKey& key, const RecordingSink& recorded);
+
+  /// Serial point between passes: advances the LRU clock and evicts in
+  /// (last-used pass, digest) order until under budget. Call it after an
+  /// ordered merge, never from inside a parallel section.
+  void end_pass();
+
+  /// Drops everything (tests).
+  void clear();
+
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::size_t entry_bytes() const;
+  [[nodiscard]] std::size_t budget_bytes() const;
+
+  /// Forces enabled/disabled regardless of MGT_RENDER_CACHE (tests).
+  void set_enabled_override(int forced);  // -1 none, 0 off, 1 on
+  [[nodiscard]] int enabled_override() const;
+
+private:
+  RenderCache();
+
+  struct Entry {
+    RenderCacheKey key;
+    std::vector<double> samples;  // voltages for [k_emit, k_end), mV
+    double context_value = 0.0;
+    bool has_context = false;
+  };
+
+  [[nodiscard]] static std::size_t entry_cost(const Entry& e);
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<const Entry>> entries_;
+  std::map<std::uint64_t, std::uint64_t> last_used_;  // digest -> pass
+  std::size_t bytes_ = 0;
+  std::uint64_t pass_ = 1;
+  std::size_t budget_bytes_ = 0;
+  bool env_enabled_ = true;
+  int override_ = -1;
+};
+
+/// RAII cache force for tests (on or off); restores on destruction.
+class ScopedRenderCache {
+public:
+  explicit ScopedRenderCache(bool on);
+  ~ScopedRenderCache();
+  ScopedRenderCache(const ScopedRenderCache&) = delete;
+  ScopedRenderCache& operator=(const ScopedRenderCache&) = delete;
+
+private:
+  int previous_;
+};
+
+}  // namespace mgt::sig

@@ -29,6 +29,10 @@ public:
   explicit CrossingRecorder(Millivolts threshold) : threshold_(threshold) {}
 
   void on_sample(Picoseconds t, Millivolts v) override;
+  /// Batched scan: the straddle search runs through the SIMD kernels over
+  /// the SoA arrays; interpolation at each straddle stays scalar in sample
+  /// order, so the crossing list is byte-identical to per-sample delivery.
+  void on_block(const SampleBlock& block) override;
   void on_context(Picoseconds t, Millivolts v) override;
 
   [[nodiscard]] const std::vector<Crossing>& crossings() const {
@@ -86,6 +90,10 @@ public:
   StrobeSampler(std::vector<Picoseconds> strobes, Config config, Rng rng);
 
   void on_sample(Picoseconds t, Millivolts v) override;
+  /// Skips whole blocks that contain no strobe (the common case for sparse
+  /// strobe lists); otherwise replays per sample. State-identical to
+  /// per-sample delivery either way.
+  void on_block(const SampleBlock& block) override;
   void finish() override;
 
   /// Captured logic values, one per strobe (valid after finish()).
@@ -123,6 +131,10 @@ public:
                             MvPerPs slope_limit = MvPerPs{0.5});
 
   void on_sample(Picoseconds t, Millivolts v) override;
+  /// Batched: min/max go through the SIMD kernels (order-independent and
+  /// exact); the slope-gated Welford statistics stay scalar in sample order
+  /// so the result is byte-identical to per-sample delivery.
+  void on_block(const SampleBlock& block) override;
   void on_context(Picoseconds t, Millivolts v) override;
 
   /// Folds in another tracker over a disjoint window (chunked renders).

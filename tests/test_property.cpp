@@ -3,8 +3,11 @@
 // tests.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <functional>
 #include <set>
+#include <string>
 #include <tuple>
 
 #include "analysis/eye.hpp"
@@ -16,8 +19,11 @@
 #include "minitester/dut.hpp"
 #include "pecl/delayline.hpp"
 #include "pecl/mux.hpp"
+#include "signal/batch.hpp"
 #include "signal/render.hpp"
+#include "signal/render_cache.hpp"
 #include "signal/sinks.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "vortex/fabric.hpp"
@@ -380,6 +386,246 @@ TEST_P(StatsMerge, AnySplitMatchesSinglePass) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StatsMerge,
                          ::testing::Range<std::uint64_t>(40, 52));
+
+// ---------------------------------------------------------------------------
+// Property: for ANY randomly drawn engine configuration, the batched /
+// cached / chunked / parallel render pipeline is byte-identical to the
+// scalar, cache-off, serial reference. Failures shrink greedily to a
+// minimal failing configuration, printed on one line so it can be pasted
+// straight into a regression test.
+// ---------------------------------------------------------------------------
+
+/// One randomly drawn engine configuration (everything the pipelines vary).
+struct EngineConfig {
+  std::uint64_t seed = 0;
+  std::size_t n_bits = 32;
+  double ui_ps = 400.0;
+  std::vector<double> taus_ps;
+  double gain = 1.0;
+  double jitter_ps = 0.0;
+  std::size_t chunk_samples = 4096;
+  std::size_t settle_samples = 2048;
+  std::size_t threads = 0;
+};
+
+std::string describe(const EngineConfig& c) {
+  std::string s = "seed=" + std::to_string(c.seed) +
+                  " n_bits=" + std::to_string(c.n_bits) +
+                  " ui_ps=" + std::to_string(c.ui_ps) + " taus=[";
+  for (std::size_t i = 0; i < c.taus_ps.size(); ++i) {
+    s += (i ? "," : "") + std::to_string(c.taus_ps[i]);
+  }
+  s += "] gain=" + std::to_string(c.gain) +
+       " jitter_ps=" + std::to_string(c.jitter_ps) +
+       " chunk=" + std::to_string(c.chunk_samples) +
+       " settle=" + std::to_string(c.settle_samples) +
+       " threads=" + std::to_string(c.threads);
+  return s;
+}
+
+EngineConfig draw_config(Rng& rng) {
+  EngineConfig c;
+  c.seed = rng.next();
+  c.n_bits = 8 + rng.below(56);
+  c.ui_ps = rng.uniform(100.0, 500.0);
+  const std::size_t poles = rng.below(4);  // 0..3
+  for (std::size_t i = 0; i < poles; ++i) {
+    c.taus_ps.push_back(rng.uniform(5.0, 60.0));
+  }
+  c.gain = rng.uniform(0.7, 1.0);
+  c.jitter_ps = rng.uniform(0.0, 6.0);
+  c.chunk_samples = 512 + rng.below(8192);
+  c.settle_samples = rng.below(4096);  // 0 allowed: regression territory
+  const std::size_t thread_choices[] = {0, 1, 2, 5};
+  c.threads = thread_choices[rng.below(4)];
+  return c;
+}
+
+std::vector<std::uint64_t> eye_bits_fingerprint(const ana::EyeDiagram& eye) {
+  std::vector<std::uint64_t> fp;
+  fp.push_back(eye.total_samples());
+  for (std::size_t tb = 0; tb < eye.config().time_bins; ++tb) {
+    for (std::size_t vb = 0; vb < eye.config().volt_bins; ++vb) {
+      fp.push_back(eye.count_at(tb, vb));
+    }
+  }
+  for (const sig::Crossing& cr : eye.crossings()) {
+    fp.push_back(std::bit_cast<std::uint64_t>(cr.time.ps()));
+    fp.push_back(cr.rising ? 1u : 0u);
+  }
+  fp.push_back(std::bit_cast<std::uint64_t>(eye.eye_height().mv()));
+  return fp;
+}
+
+ana::EyeDiagram property_eye(const EngineConfig& c,
+                             const sig::RenderChunking& chunking) {
+  Rng rng(c.seed);
+  const auto bits = BitVector::random(c.n_bits, rng);
+  // Pure per-index jitter so both pipelines build identical streams.
+  const double amp = c.jitter_ps;
+  const std::uint64_t jseed = c.seed ^ 0xD6E8FEB86659FD93ULL;
+  auto offset = [amp, jseed](std::size_t idx, Picoseconds) {
+    std::uint64_t z = jseed + 0x9E3779B97F4A7C15ULL * (idx + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return Picoseconds{(2.0 * static_cast<double>(z >> 11) * 0x1.0p-53 - 1.0) *
+                       amp};
+  };
+  const auto stream = sig::EdgeStream::from_bits(bits, Picoseconds{c.ui_ps},
+                                                 Picoseconds{0}, offset);
+  sig::FilterChain chain;
+  for (double tau : c.taus_ps) {
+    chain.add_pole(Picoseconds{tau});
+  }
+  chain.set_gain(c.gain, sig::PeclLevels{}.midpoint());
+  ana::EyeDiagram::Config eye_cfg;
+  eye_cfg.ui = Picoseconds{c.ui_ps};
+  eye_cfg.time_bins = 32;
+  eye_cfg.volt_bins = 16;
+  return ana::accumulate_eye(
+      stream, chain, sig::RenderConfig{}, Picoseconds{0},
+      Picoseconds{static_cast<double>(c.n_bits) * c.ui_ps}, eye_cfg, chunking);
+}
+
+/// Property 1: for a FIXED chunk decomposition, the full pipeline (active
+/// SIMD backend, cache on — cold then warm — parallel) is byte-identical
+/// to the reference (forced scalar, cache off, serial). Holds at ANY
+/// settle depth, including the drawn settle_samples == 0.
+bool pipeline_equivalence_holds(const EngineConfig& c) {
+  const sig::RenderChunking chunking{c.chunk_samples, c.settle_samples};
+  std::vector<std::uint64_t> reference;
+  {
+    sig::ScopedSimdBackend scalar(sig::SimdBackend::kScalar);
+    sig::ScopedRenderCache cache_off(false);
+    util::ScopedThreads serial(0);
+    reference = eye_bits_fingerprint(property_eye(c, chunking));
+  }
+  sig::ScopedSimdBackend best(sig::compiled_backend());
+  sig::ScopedRenderCache cache_on(true);
+  util::ScopedThreads threads(c.threads);
+  sig::RenderCache::instance().clear();
+  const auto cold = eye_bits_fingerprint(property_eye(c, chunking));
+  const auto warm = eye_bits_fingerprint(property_eye(c, chunking));
+  sig::RenderCache::instance().clear();
+  return cold == reference && warm == reference;
+}
+
+/// Property 2: at the DEFAULT settle depth (hundreds of time constants for
+/// every drawn tau) the chunk decomposition itself is byte-identical to a
+/// single-pass render. Shallower settles are documented approximations and
+/// are covered by property 1 only.
+bool decomposition_equivalence_holds(const EngineConfig& c) {
+  sig::ScopedRenderCache cache_off(false);
+  util::ScopedThreads serial(0);
+  const auto whole = eye_bits_fingerprint(
+      property_eye(c, sig::RenderChunking{1u << 26, 32768}));
+  const auto chunked = eye_bits_fingerprint(
+      property_eye(c, sig::RenderChunking{c.chunk_samples, 32768}));
+  return whole == chunked;
+}
+
+/// Greedy shrink: repeatedly applies the simplest still-failing reduction
+/// until no candidate both simplifies the config and keeps it failing
+/// against `holds`.
+EngineConfig shrink_config(
+    EngineConfig failing,
+    const std::function<bool(const EngineConfig&)>& holds) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    std::vector<EngineConfig> candidates;
+    if (failing.n_bits > 4) {
+      EngineConfig c = failing;
+      c.n_bits = std::max<std::size_t>(4, c.n_bits / 2);
+      candidates.push_back(c);
+    }
+    if (!failing.taus_ps.empty()) {
+      EngineConfig c = failing;
+      c.taus_ps.pop_back();
+      candidates.push_back(c);
+    }
+    if (failing.jitter_ps != 0.0) {
+      EngineConfig c = failing;
+      c.jitter_ps = 0.0;
+      candidates.push_back(c);
+    }
+    if (failing.gain != 1.0) {
+      EngineConfig c = failing;
+      c.gain = 1.0;
+      candidates.push_back(c);
+    }
+    if (failing.threads != 0) {
+      EngineConfig c = failing;
+      c.threads = 0;
+      candidates.push_back(c);
+    }
+    if (failing.settle_samples != 32768) {
+      EngineConfig c = failing;
+      c.settle_samples = 32768;  // the default depth
+      candidates.push_back(c);
+    }
+    if (failing.chunk_samples < (1u << 26)) {
+      EngineConfig c = failing;
+      c.chunk_samples = 1u << 26;  // single chunk
+      candidates.push_back(c);
+    }
+    if (failing.ui_ps != 400.0) {
+      EngineConfig c = failing;
+      c.ui_ps = 400.0;
+      candidates.push_back(c);
+    }
+    for (const EngineConfig& c : candidates) {
+      if (!holds(c)) {
+        failing = c;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return failing;
+}
+
+/// Checks one property over one config; on violation shrinks and fails
+/// with the minimal reproducer on one line.
+void expect_property(const std::function<bool(const EngineConfig&)>& holds,
+                     const EngineConfig& config, const char* name) {
+  if (holds(config)) {
+    return;
+  }
+  const EngineConfig minimal = shrink_config(config, holds);
+  FAIL() << name << " violated; minimal failing config: " << describe(minimal)
+         << "  (original: " << describe(config) << ")";
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineEquivalence, RandomConfigsRoundTripByteIdentically) {
+  Rng rng(GetParam() * 0x9E3779B97F4A7C15ULL + 1);
+  for (int i = 0; i < 4; ++i) {
+    const EngineConfig config = draw_config(rng);
+    expect_property(pipeline_equivalence_holds, config,
+                    "SIMD/cache/threads pipeline equivalence");
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST_P(PipelineEquivalence, RandomConfigsDecomposeByteIdentically) {
+  Rng rng(GetParam() * 0xD6E8FEB86659FD93ULL + 3);
+  for (int i = 0; i < 2; ++i) {
+    const EngineConfig config = draw_config(rng);
+    expect_property(decomposition_equivalence_holds, config,
+                    "chunk decomposition equivalence");
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace mgt

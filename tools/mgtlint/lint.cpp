@@ -251,6 +251,7 @@ public:
       check_wallclock_metric(i);
       check_units(i);
       check_contracts(i);
+      check_intrinsics(i);
       track_classes(i);
     }
     return std::move(diags_);
@@ -324,6 +325,36 @@ private:
                    "' has unspecified order; use a sorted/ordered container "
                    "in reduction paths");
       }
+    }
+  }
+
+  // --- vendor intrinsics containment ---
+
+  // SIMD intrinsics and vector types may only appear in the dedicated batch
+  // kernel translation units (src/signal/batch_kernels.*). Everywhere else
+  // must go through the dispatching kernels, so the scalar fallback stays
+  // the single source of truth for results and the equivalence suite only
+  // has one boundary to gate.
+  void check_intrinsics(std::size_t i) {
+    const Token& t = tok(i);
+    if (t.kind != TokKind::kIdent) {
+      return;
+    }
+    if (path_.find("batch_kernels") != std::string_view::npos) {
+      return;
+    }
+    const std::string_view s = t.text;
+    const bool intrinsic_call = s.rfind("_mm_", 0) == 0 ||
+                                s.rfind("_mm256_", 0) == 0 ||
+                                s.rfind("_mm512_", 0) == 0;
+    const bool vector_type = s.rfind("__m128", 0) == 0 ||
+                             s.rfind("__m256", 0) == 0 ||
+                             s.rfind("__m512", 0) == 0;
+    if (intrinsic_call || vector_type) {
+      report(i, rules::kIntrinsics,
+             "vendor intrinsic '" + std::string(s) +
+                 "' outside src/signal/batch_kernels.*; call the "
+                 "dispatching kernels in batch_kernels.hpp instead");
     }
   }
 
@@ -814,6 +845,7 @@ const std::vector<std::string_view>& all_rules() {
       rules::kUsingNamespace, rules::kExplicitCtor,
       rules::kCatchIgnore,    rules::kCatchByValue,
       rules::kUncheckedStatus, rules::kWallclockMetric,
+      rules::kIntrinsics,
   };
   return kRules;
 }

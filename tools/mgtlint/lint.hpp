@@ -58,6 +58,8 @@ inline constexpr std::string_view kCatchIgnore = "no-catch-ignore";
 inline constexpr std::string_view kCatchByValue = "catch-by-reference";
 inline constexpr std::string_view kUncheckedStatus = "no-unchecked-status";
 inline constexpr std::string_view kWallclockMetric = "no-wallclock-metric";
+inline constexpr std::string_view kIntrinsics =
+    "no-intrinsics-outside-kernels";
 }  // namespace rules
 
 /// All rule ids, for --list-rules and the fixture suite.

@@ -581,9 +581,66 @@ TEST(MgtlintMisc, ClassifyPath) {
             FileKind::kToolFile);
 }
 
+// ------------------------------------------------- intrinsics containment --
+
+TEST(MgtlintIntrinsics, IntrinsicOutsideKernelsBad) {
+  EXPECT_TRUE(fires("src/signal/render.cpp", R"(
+    #include <emmintrin.h>
+    double sum2(const double* v) {
+      __m128d x = _mm_loadu_pd(v);
+      x = _mm_add_pd(x, x);
+      double out[2];
+      _mm_storeu_pd(out, x);
+      return out[0];
+    }
+  )",
+                    "no-intrinsics-outside-kernels"));
+}
+
+TEST(MgtlintIntrinsics, VectorTypeInHeaderBad) {
+  EXPECT_TRUE(fires("src/analysis/eye.hpp", R"(
+    struct Acc { __m256d lanes; };
+  )",
+                    "no-intrinsics-outside-kernels"));
+}
+
+TEST(MgtlintIntrinsics, KernelTranslationUnitAllowed) {
+  EXPECT_FALSE(fires("src/signal/batch_kernels.cpp", R"(
+    #include <emmintrin.h>
+    void k(const double* v, double* out) {
+      __m128d x = _mm_min_pd(_mm_loadu_pd(v), _mm_loadu_pd(v + 2));
+      _mm_storeu_pd(out, x);
+    }
+  )",
+                     "no-intrinsics-outside-kernels"));
+}
+
+TEST(MgtlintIntrinsics, KernelHeaderAllowed) {
+  EXPECT_FALSE(fires("src/signal/batch_kernels.hpp", R"(
+    void range_minmax_sse2(const double* v, unsigned long n, double* lo,
+                           double* hi);
+  )",
+                     "no-intrinsics-outside-kernels"));
+}
+
+TEST(MgtlintIntrinsics, AllowlistSuppresses) {
+  EXPECT_FALSE(fires("src/signal/render.cpp", R"(
+    __m128d x;  // mgtlint:allow(no-intrinsics-outside-kernels)
+  )",
+                     "no-intrinsics-outside-kernels"));
+}
+
+TEST(MgtlintIntrinsics, PlainIdentifiersDoNotFire) {
+  EXPECT_FALSE(fires("src/signal/render.cpp", R"(
+    int mm_total = 0;
+    void bump(int _mmio) { mm_total += _mmio; }
+  )",
+                     "no-intrinsics-outside-kernels"));
+}
+
 TEST(MgtlintMisc, AllRulesListsEveryRuleOnce) {
   const auto& rules = mgtlint::all_rules();
-  EXPECT_EQ(rules.size(), 14u);
+  EXPECT_EQ(rules.size(), 15u);
   for (const auto rule : rules) {
     EXPECT_EQ(std::count(rules.begin(), rules.end(), rule), 1)
         << std::string(rule);
