@@ -1,0 +1,103 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mgtlint {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// The per-finding fingerprint key, ordinal excluded.
+std::string key_of(const std::string& rule, const std::string& rel_path,
+                   std::uint64_t hash) {
+  return rule + " " + rel_path + " " + hex16(hash);
+}
+
+}  // namespace
+
+std::vector<BaselineEntry> parse_baseline(std::string_view text) {
+  std::vector<BaselineEntry> out;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    BaselineEntry e;
+    std::string hash;
+    std::string ordinal;
+    if (!(ls >> e.rule >> e.path >> hash >> ordinal)) {
+      continue;  // malformed: skip, never fail open
+    }
+    char* end = nullptr;
+    e.line_hash = std::strtoull(hash.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') {
+      continue;
+    }
+    e.ordinal = std::strtoull(ordinal.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      continue;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string write_baseline(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> lines;
+  std::map<std::string, std::size_t> ordinals;
+  for (const Diagnostic& d : diags) {
+    const std::string rel = repo_relative(d.file);
+    const std::string key = key_of(d.rule, rel, d.line_hash);
+    const std::size_t ordinal = ordinals[key]++;
+    lines.push_back(d.rule + " " + rel + " " + hex16(d.line_hash) + " " +
+                    std::to_string(ordinal));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out = "# mgtlint baseline v1\n";
+  out +=
+      "# <rule> <repo-relative-path> <line-hash> <ordinal>; regenerate "
+      "with --write-baseline\n";
+  for (const auto& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<Diagnostic> apply_baseline(
+    const std::vector<Diagnostic>& diags,
+    const std::vector<BaselineEntry>& baseline) {
+  // key -> set of baselined ordinals
+  std::map<std::string, std::set<std::size_t>> suppressed;
+  for (const auto& e : baseline) {
+    suppressed[key_of(e.rule, e.path, e.line_hash)].insert(e.ordinal);
+  }
+  std::vector<Diagnostic> out;
+  std::map<std::string, std::size_t> ordinals;
+  for (const Diagnostic& d : diags) {
+    const std::string key = key_of(d.rule, repo_relative(d.file),
+                                   d.line_hash);
+    const std::size_t ordinal = ordinals[key]++;
+    const auto it = suppressed.find(key);
+    if (it != suppressed.end() && it->second.count(ordinal) != 0U) {
+      continue;
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace mgtlint

@@ -1,0 +1,51 @@
+// mgtlint baseline files: checked-in suppression of known findings.
+//
+// A baseline entry fingerprints one finding as
+//
+//   (rule, repo-relative path, FNV-1a hash of the trimmed source line,
+//    occurrence ordinal among findings sharing that triple)
+//
+// which survives unrelated edits moving the finding to a different line
+// number. The file format is line-oriented and diff-friendly:
+//
+//   # mgtlint baseline v1
+//   <rule> <path> <hash16hex> <ordinal>
+//
+// Workflow: `mgtlint --write-baseline mgtlint.baseline <paths>` snapshots
+// the current findings; later runs with `--baseline mgtlint.baseline`
+// report only findings not in the snapshot, so CI fails on *new* debt
+// while existing debt is paid down incrementally (shrink-only file).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace mgtlint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;  // repo-relative
+  std::uint64_t line_hash = 0;
+  std::size_t ordinal = 0;
+};
+
+/// Parses a baseline document. Unparseable lines are skipped (a stale or
+/// hand-mangled entry must never turn the linter off wholesale); comments
+/// (#) and blank lines are ignored.
+std::vector<BaselineEntry> parse_baseline(std::string_view text);
+
+/// Serializes findings to baseline format, sorted, with the v1 header.
+std::string write_baseline(const std::vector<Diagnostic>& diags);
+
+/// Drops every diagnostic matched by the baseline. Matching assigns
+/// ordinals per (rule, path, hash) key in diagnostic order, mirroring
+/// write_baseline, so k baselined occurrences of an identical line
+/// suppress exactly the first k.
+std::vector<Diagnostic> apply_baseline(
+    const std::vector<Diagnostic>& diags,
+    const std::vector<BaselineEntry>& baseline);
+
+}  // namespace mgtlint

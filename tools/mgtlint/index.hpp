@@ -1,0 +1,47 @@
+// mgtlint cross-TU index: the project-wide half of the v2 analyzer.
+//
+// lint_project parses every input buffer (parse.hpp), hands the parsed
+// units here, and this module builds one symbol index over all of them —
+// function declarations by name, taint facts (which functions derive values
+// from wall-clock/rand sources, transitively through value-returning
+// calls), global-mutation facts, and the set of strong unit types — then
+// runs the three cross-TU rule families against it:
+//
+//   no-shared-mutation-in-parallel  a lambda handed to util::parallel_for /
+//                                   ThreadPool::run mutates shared state
+//                                   without the per-task-slot idiom, either
+//                                   directly or by calling a function (any
+//                                   file) that writes a TU global / local
+//                                   static
+//   no-nondet-flow                  a deterministic sink (obs metric update,
+//                                   Rng seeding) consumes the value of a
+//                                   function that — possibly several calls
+//                                   and files away — reads the wall clock
+//                                   or libc rand
+//   unit-flow-raw-double            a call passes a unit-carrying value
+//                                   (`t.ps()`, `delay_ps`) to a raw double
+//                                   parameter of a function declared in a
+//                                   header, i.e. a unit-blind public API
+//
+// Every rule here fails silent on parse uncertainty: no resolution, no
+// finding.
+#pragma once
+
+#include <vector>
+
+#include "lint.hpp"
+#include "parse.hpp"
+
+namespace mgtlint {
+
+/// One parsed buffer plus its repo classification.
+struct ParsedUnit {
+  ParsedFile parsed;
+  FileKind kind;
+};
+
+/// Runs the cross-TU rule families over the whole project. Diagnostics
+/// respect `mgtlint:allow(...)` comments at the reported line.
+std::vector<Diagnostic> run_project_rules(const std::vector<ParsedUnit>& units);
+
+}  // namespace mgtlint

@@ -6,217 +6,14 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
+
+#include "index.hpp"
+#include "parse.hpp"
 
 namespace mgtlint {
 
 namespace {
-
-// ------------------------------------------------------------------ lexer --
-
-enum class TokKind { kIdent, kNumber, kPunct, kString };
-
-struct Token {
-  TokKind kind;
-  std::string_view text;
-  std::size_t line;
-  std::size_t column;
-};
-
-/// Lexer output: tokens plus the per-line suppression table built from
-/// `// mgtlint:allow(rule-a, rule-b)` comments. An allow comment suppresses
-/// matching findings on its own line and on the following line, so it works
-/// both trailing the offending code and on the line above it.
-struct LexResult {
-  std::vector<Token> tokens;
-  std::map<std::size_t, std::set<std::string>> allow;  // line -> rule ids
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Registers the rules named in an allow directive found in `comment`.
-void parse_allow(std::string_view comment, std::size_t line, LexResult& out) {
-  const std::string_view tag = "mgtlint:allow(";
-  const auto pos = comment.find(tag);
-  if (pos == std::string_view::npos) {
-    return;
-  }
-  const auto open = pos + tag.size();
-  const auto close = comment.find(')', open);
-  if (close == std::string_view::npos) {
-    return;
-  }
-  std::string_view list = comment.substr(open, close - open);
-  while (!list.empty()) {
-    const auto comma = list.find(',');
-    std::string_view item = list.substr(0, comma);
-    while (!item.empty() && std::isspace(static_cast<unsigned char>(item.front()))) {
-      item.remove_prefix(1);
-    }
-    while (!item.empty() && std::isspace(static_cast<unsigned char>(item.back()))) {
-      item.remove_suffix(1);
-    }
-    if (!item.empty()) {
-      out.allow[line].insert(std::string(item));
-      out.allow[line + 1].insert(std::string(item));
-    }
-    if (comma == std::string_view::npos) {
-      break;
-    }
-    list.remove_prefix(comma + 1);
-  }
-}
-
-LexResult lex(std::string_view src) {
-  LexResult out;
-  std::size_t i = 0;
-  std::size_t line = 1;
-  std::size_t col = 1;
-  bool at_line_start = true;
-
-  auto advance = [&](std::size_t n) {
-    for (std::size_t k = 0; k < n && i < src.size(); ++k, ++i) {
-      if (src[i] == '\n') {
-        ++line;
-        col = 1;
-        at_line_start = true;
-      } else {
-        ++col;
-      }
-    }
-  };
-
-  while (i < src.size()) {
-    const char c = src[i];
-    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
-      advance(1);
-      continue;
-    }
-    // Preprocessor: swallow #include/#pragma lines whole (their operands
-    // are paths/pragmas, not code); other directives lex normally so
-    // #define bodies stay checked.
-    if (c == '#' && at_line_start) {
-      std::size_t j = i + 1;
-      while (j < src.size() && std::isspace(static_cast<unsigned char>(src[j])) &&
-             src[j] != '\n') {
-        ++j;
-      }
-      std::size_t k = j;
-      while (k < src.size() && ident_char(src[k])) {
-        ++k;
-      }
-      const std::string_view kw = src.substr(j, k - j);
-      if (kw == "include" || kw == "pragma") {
-        while (i < src.size() && src[i] != '\n') {
-          advance(1);
-        }
-        continue;
-      }
-      out.tokens.push_back({TokKind::kPunct, src.substr(i, 1), line, col});
-      advance(1);
-      at_line_start = false;
-      continue;
-    }
-    at_line_start = false;
-    // Comments (and allow directives).
-    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-      const std::size_t start = i;
-      const std::size_t start_line = line;
-      while (i < src.size() && src[i] != '\n') {
-        advance(1);
-      }
-      parse_allow(src.substr(start, i - start), start_line, out);
-      continue;
-    }
-    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
-      const std::size_t start = i;
-      const std::size_t start_line = line;
-      advance(2);
-      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
-        advance(1);
-      }
-      advance(2);
-      parse_allow(src.substr(start, i - start), start_line, out);
-      continue;
-    }
-    // Raw strings: R"delim( ... )delim".
-    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      while (j < src.size() && src[j] != '(' && src[j] != '"' &&
-             src[j] != '\n') {
-        ++j;
-      }
-      if (j < src.size() && src[j] == '(') {
-        const std::string close =
-            ")" + std::string(src.substr(i + 2, j - (i + 2))) + "\"";
-        const auto end = src.find(close, j + 1);
-        const std::size_t stop =
-            end == std::string_view::npos ? src.size() : end + close.size();
-        out.tokens.push_back(
-            {TokKind::kString, src.substr(i, stop - i), line, col});
-        advance(stop - i);
-        continue;
-      }
-    }
-    // String / char literals.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      const std::size_t start = i;
-      const std::size_t start_line = line;
-      const std::size_t start_col = col;
-      advance(1);
-      while (i < src.size() && src[i] != quote) {
-        advance(src[i] == '\\' ? 2 : 1);
-      }
-      advance(1);
-      out.tokens.push_back({TokKind::kString, src.substr(start, i - start),
-                            start_line, start_col});
-      continue;
-    }
-    if (ident_start(c)) {
-      const std::size_t start = i;
-      const std::size_t start_col = col;
-      while (i < src.size() && ident_char(src[i])) {
-        advance(1);
-      }
-      out.tokens.push_back({TokKind::kIdent, src.substr(start, i - start),
-                            line, start_col});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      const std::size_t start = i;
-      const std::size_t start_col = col;
-      while (i < src.size() &&
-             (ident_char(src[i]) || src[i] == '.' ||
-              ((src[i] == '+' || src[i] == '-') && i > start &&
-               (src[i - 1] == 'e' || src[i - 1] == 'E' ||
-                src[i - 1] == 'p' || src[i - 1] == 'P')))) {
-        advance(1);
-      }
-      out.tokens.push_back({TokKind::kNumber, src.substr(start, i - start),
-                            line, start_col});
-      continue;
-    }
-    // Multi-char punctuation we care about: -> and ::.
-    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
-      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line, col});
-      advance(2);
-      continue;
-    }
-    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
-      out.tokens.push_back({TokKind::kPunct, src.substr(i, 2), line, col});
-      advance(2);
-      continue;
-    }
-    out.tokens.push_back({TokKind::kPunct, src.substr(i, 1), line, col});
-    advance(1);
-  }
-  return out;
-}
 
 // ------------------------------------------------------------- rule logic --
 
@@ -241,7 +38,7 @@ bool in_src(FileKind k) {
 class Linter {
 public:
   Linter(std::string_view path, std::string_view content, FileKind kind)
-      : path_(path), kind_(kind), lexed_(lex(content)) {}
+      : path_(path), content_(content), kind_(kind), lexed_(lex(content)) {}
 
   std::vector<Diagnostic> run() {
     collect_unordered_names();
@@ -271,14 +68,16 @@ private:
     return prev_is(i, ".") || prev_is(i, "->");
   }
 
-  void report(std::size_t i, std::string_view rule, std::string message) {
+  void report(std::size_t i, std::string_view rule, std::string message,
+              std::optional<FixIt> fix = std::nullopt) {
     const Token& t = tok(i);
     const auto it = lexed_.allow.find(t.line);
     if (it != lexed_.allow.end() && it->second.count(std::string(rule))) {
       return;
     }
     diags_.push_back({std::string(path_), t.line, t.column, std::string(rule),
-                      std::move(message)});
+                      std::move(message), hash_source_line(content_, t.line),
+                      std::move(fix)});
   }
 
   // --- determinism ---
@@ -545,10 +344,14 @@ private:
       return;
     }
     if (before == ";" || before == "{" || before == "}") {
+      // Mechanical fix: make the discard explicit. (Checking the status is
+      // better, but that needs a human; (void) at least survives review.)
+      FixIt fix{tok(head).offset, tok(head).offset, "(void)"};
       report(i, rules::kUncheckedStatus,
              "discarded result of '" + std::string(tok(i).text) +
                  "()'; check the returned status (or cast to (void) / "
-                 "mgtlint:allow(no-unchecked-status))");
+                 "mgtlint:allow(no-unchecked-status))",
+             fix);
     }
   }
 
@@ -580,7 +383,8 @@ private:
     if (!by_reference) {
       report(i, rules::kCatchByValue,
              "catching an exception by value slices the object; catch by "
-             "const reference");
+             "const reference",
+             catch_fix(i + 1, j));
     }
     // Body: an empty brace pair (comments are stripped by the lexer) means
     // the exception vanishes without a trace.
@@ -611,6 +415,48 @@ private:
              "empty catch block swallows the exception; record or translate "
              "the failure (or suppress with mgtlint:allow)");
     }
+  }
+
+  /// Mechanical fix for catch-by-value: rewrite `catch (Type name)` /
+  /// `catch (ns::Type)` as a const-reference declaration. Returns nullopt
+  /// for anything fancier than ident/`::` sequences (no fix is safer than a
+  /// wrong fix).
+  std::optional<FixIt> catch_fix(std::size_t open, std::size_t close) {
+    if (close <= open + 1 || close >= size()) {
+      return std::nullopt;
+    }
+    std::vector<std::size_t> parts;
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (tok(k).kind == TokKind::kIdent || tok(k).text == "::") {
+        parts.push_back(k);
+      } else {
+        return std::nullopt;
+      }
+    }
+    if (parts.empty()) {
+      return std::nullopt;
+    }
+    // Name present iff the last two parts are adjacent identifiers.
+    std::string name;
+    std::size_t type_end = parts.size();
+    if (parts.size() >= 2 &&
+        tok(parts[parts.size() - 1]).kind == TokKind::kIdent &&
+        tok(parts[parts.size() - 2]).kind == TokKind::kIdent) {
+      name = std::string(tok(parts.back()).text);
+      type_end = parts.size() - 1;
+    }
+    std::string type;
+    for (std::size_t p = 0; p < type_end; ++p) {
+      type += std::string(tok(parts[p]).text);
+    }
+    std::string repl = "const " + type + "&";
+    if (!name.empty()) {
+      repl += " " + name;
+    }
+    const Token& first = tok(open + 1);
+    const Token& last = tok(close - 1);
+    return FixIt{first.offset, last.offset + last.text.size(),
+                 std::move(repl)};
   }
 
   /// Candidate constructor at member level: flag single-argument-callable
@@ -798,6 +644,7 @@ private:
   };
 
   std::string_view path_;
+  std::string_view content_;
   FileKind kind_;
   LexResult lexed_;
   std::vector<Diagnostic> diags_;
@@ -837,17 +684,113 @@ FileKind classify_path(std::string_view path) {
   return header ? FileKind::kOtherHeader : FileKind::kOtherImpl;
 }
 
-const std::vector<std::string_view>& all_rules() {
-  static const std::vector<std::string_view> kRules = {
-      rules::kRandomDevice,   rules::kRand,      rules::kTime,
-      rules::kWallClock,      rules::kUnorderedIter,
-      rules::kUnitDouble,     rules::kFloat,     rules::kAssert,
-      rules::kUsingNamespace, rules::kExplicitCtor,
-      rules::kCatchIgnore,    rules::kCatchByValue,
-      rules::kUncheckedStatus, rules::kWallclockMetric,
-      rules::kIntrinsics,
+std::string repo_relative(std::string_view path) {
+  for (const std::string_view anchor :
+       {"src/", "tests/", "bench/", "examples/", "tools/"}) {
+    if (path.starts_with(anchor)) {
+      return std::string(path);
+    }
+    const std::string probe = "/" + std::string(anchor);
+    const auto pos = path.rfind(probe);
+    if (pos != std::string_view::npos) {
+      return std::string(path.substr(pos + 1));
+    }
+  }
+  return std::string(path);
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kCatalog = {
+      {rules::kRandomDevice,
+       "std::random_device is non-deterministic; seed mgt::Rng explicitly",
+       false, false},
+      {rules::kRand, "rand()/srand() use hidden global state", false, false},
+      {rules::kTime, "time() reads the wall clock outside bench/", false,
+       false},
+      {rules::kWallClock,
+       "std::chrono wall clocks outside bench/ break determinism", false,
+       false},
+      {rules::kUnorderedIter,
+       "iterating an unordered container has unspecified order", false,
+       false},
+      {rules::kUnitDouble,
+       "raw double with a unit-suffixed name; use a strong unit type", false,
+       false},
+      {rules::kFloat, "float narrows ps-resolution math in src/", false,
+       false},
+      {rules::kAssert, "assert() compiles out under NDEBUG; use MGT_CHECK",
+       false, false},
+      {rules::kUsingNamespace,
+       "'using namespace' in a header pollutes every includer", false,
+       false},
+      {rules::kExplicitCtor,
+       "single-argument constructors must be explicit", false, false},
+      {rules::kCatchIgnore, "empty catch block swallows the exception",
+       false, false},
+      {rules::kCatchByValue,
+       "catching an exception by value slices; catch by const reference",
+       true, false},
+      {rules::kUncheckedStatus,
+       "status-bearing call result discarded as a bare statement", true,
+       false},
+      {rules::kWallclockMetric,
+       "wall-clock value feeds a deterministic obs metric sink", false,
+       false},
+      {rules::kIntrinsics,
+       "vendor intrinsics outside src/signal/batch_kernels.*", false, false},
+      {rules::kParallelMutation,
+       "lambda under parallel_for mutates shared state (possibly via a "
+       "function in another file)",
+       false, true},
+      {rules::kNondetFlow,
+       "wall-clock/rand-derived value flows into a deterministic sink "
+       "across file boundaries",
+       false, true},
+      {rules::kUnitFlow,
+       "unit-carrying value passed to a raw double parameter of a public "
+       "API declared elsewhere",
+       false, true},
   };
+  return kCatalog;
+}
+
+const std::vector<std::string_view>& all_rules() {
+  static const std::vector<std::string_view> kRules = [] {
+    std::vector<std::string_view> ids;
+    for (const auto& r : rule_catalog()) {
+      ids.push_back(r.id);
+    }
+    return ids;
+  }();
   return kRules;
+}
+
+std::uint64_t hash_source_line(std::string_view content, std::size_t line) {
+  std::size_t begin = 0;
+  for (std::size_t l = 1; l < line && begin < content.size(); ++begin) {
+    if (content[begin] == '\n') {
+      ++l;
+    }
+  }
+  std::size_t end = begin;
+  while (end < content.size() && content[end] != '\n') {
+    ++end;
+  }
+  std::string_view text = content.substr(begin, end - begin);
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 std::vector<Diagnostic> lint_source(std::string_view path,
@@ -860,10 +803,34 @@ std::vector<Diagnostic> lint_source(std::string_view path,
   return lint_source(path, content, classify_path(path));
 }
 
+std::vector<Diagnostic> lint_project(const std::vector<ProjectInput>& files) {
+  std::vector<Diagnostic> diags;
+  std::vector<ParsedUnit> units;
+  units.reserve(files.size());
+  for (const auto& f : files) {
+    const FileKind kind = classify_path(f.path);
+    auto file_diags = lint_source(f.path, f.content, kind);
+    diags.insert(diags.end(),
+                 std::make_move_iterator(file_diags.begin()),
+                 std::make_move_iterator(file_diags.end()));
+    units.push_back({parse_source(f.path, f.content), kind});
+  }
+  auto project_diags = run_project_rules(units);
+  diags.insert(diags.end(),
+               std::make_move_iterator(project_diags.begin()),
+               std::make_move_iterator(project_diags.end()));
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.column, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.column, b.rule, b.message);
+            });
+  return diags;
+}
+
 std::vector<Diagnostic> lint_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return {{path, 0, 0, "io-error", "cannot open file"}};
+    return {{path, 0, 0, "io-error", "cannot open file", 0, std::nullopt}};
   }
   std::ostringstream buf;
   buf << in.rdbuf();

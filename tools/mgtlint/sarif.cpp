@@ -1,0 +1,113 @@
+#include "sarif.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace mgtlint {
+
+namespace {
+
+/// JSON string escaping: control chars, quote, backslash.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Diagnostic>& diags) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"mgtlint\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/mgt/tools/mgtlint\",\n"
+     << "          \"version\": \"2.0.0\",\n"
+     << "          \"rules\": [\n";
+  const auto& catalog = rule_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const RuleInfo& r = catalog[i];
+    os << "            {\n"
+       << "              \"id\": \"" << json_escape(r.id) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << json_escape(r.summary) << "\" },\n"
+       << "              \"properties\": { \"fixable\": "
+       << (r.fixable ? "true" : "false") << ", \"crossTu\": "
+       << (r.cross_tu ? "true" : "false") << " }\n"
+       << "            }" << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(d.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << json_escape(d.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(repo_relative(d.file)) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << d.line
+       << ", \"startColumn\": " << d.column << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ],\n"
+       << "          \"partialFingerprints\": { \"mgtlintLineHash/v1\": \""
+       << hex16(d.line_hash) << "\" }\n"
+       << "        }" << (i + 1 < diags.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace mgtlint

@@ -1,0 +1,21 @@
+// SARIF 2.1.0 serialization for mgtlint findings.
+//
+// Emits one run with the full rule catalog under tool.driver.rules and one
+// result per diagnostic, carrying the baseline fingerprint in
+// partialFingerprints so SARIF consumers can track findings across commits
+// the same way the local baseline file does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace mgtlint {
+
+/// Renders the diagnostics as a SARIF 2.1.0 document. Artifact URIs are
+/// emitted repo-relative (see repo_relative) so the log is stable across
+/// checkouts.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace mgtlint

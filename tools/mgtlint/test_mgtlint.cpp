@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "baseline.hpp"
 #include "lint.hpp"
+#include "sarif.hpp"
 
 namespace {
 
@@ -640,17 +642,491 @@ TEST(MgtlintIntrinsics, PlainIdentifiersDoNotFire) {
 
 TEST(MgtlintMisc, AllRulesListsEveryRuleOnce) {
   const auto& rules = mgtlint::all_rules();
-  EXPECT_EQ(rules.size(), 15u);
+  EXPECT_EQ(rules.size(), 18u);
   for (const auto rule : rules) {
     EXPECT_EQ(std::count(rules.begin(), rules.end(), rule), 1)
         << std::string(rule);
   }
 }
 
+TEST(MgtlintMisc, CatalogMarksCrossTuAndFixableRules) {
+  int cross_tu = 0;
+  int fixable = 0;
+  for (const auto& r : mgtlint::rule_catalog()) {
+    cross_tu += r.cross_tu ? 1 : 0;
+    fixable += r.fixable ? 1 : 0;
+  }
+  EXPECT_EQ(cross_tu, 3);
+  EXPECT_EQ(fixable, 2);
+}
+
 TEST(MgtlintMisc, MissingFileReportsIoError) {
   const auto diags = mgtlint::lint_file("definitely/not/a/file.cpp");
   ASSERT_EQ(diags.size(), 1u);
   EXPECT_EQ(diags[0].rule, "io-error");
+}
+
+// ------------------------------------------- allow directive attribution --
+
+// Regression: a directive inside a multi-line /* */ comment must be
+// attributed to the line it is *written* on, not the comment's first line.
+TEST(MgtlintAllow, DirectiveOnLastCommentLineCoversNextLine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    /* legacy seeding, scheduled for removal
+       mgtlint:allow(no-rand) */
+    int r() { return rand(); }
+  )",
+                     "no-rand"));
+}
+
+TEST(MgtlintAllow, DirectiveOnFirstCommentLineDoesNotReachPastComment) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    /* mgtlint:allow(no-rand)
+       two more lines of prose push the code
+       out of the directive's reach */
+    int r() { return rand(); }
+  )",
+                    "no-rand"));
+}
+
+// ----------------------------------------------------- cross-TU: helpers --
+
+std::vector<Diagnostic> project(
+    std::vector<mgtlint::ProjectInput> files) {
+  return mgtlint::lint_project(std::move(files));
+}
+
+bool project_fires(std::vector<mgtlint::ProjectInput> files,
+                   std::string_view rule) {
+  for (const auto& d : project(std::move(files))) {
+    if (d.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------- cross-TU: parallel-capture family --
+
+// The headline case: each file lints clean in isolation (what v1 saw), yet
+// the pair is a race — the lambda calls a function defined in another TU
+// that increments a file-scope counter.
+TEST(MgtlintCrossTu, LambdaCallingGlobalMutatorAcrossFilesFires) {
+  const char* stats = R"(
+    namespace mgt {
+    int g_hits = 0;
+    void bump() { g_hits += 1; }
+    }  // namespace mgt
+  )";
+  const char* render = R"(
+    namespace mgt {
+    void render(std::size_t n) {
+      util::parallel_for(n, [&](std::size_t i) { bump(); });
+    }
+    }  // namespace mgt
+  )";
+  // Per-file pass (v1's whole view): silent on both halves.
+  EXPECT_TRUE(fired_rules("src/stats.cpp", stats).empty());
+  EXPECT_TRUE(fired_rules("src/render.cpp", render).empty());
+  // Project pass: the index connects bump() to g_hits.
+  const auto diags = project({{"src/stats.cpp", stats},
+                              {"src/render.cpp", render}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "no-shared-mutation-in-parallel");
+  EXPECT_EQ(diags[0].file, "src/render.cpp");
+  EXPECT_NE(diags[0].message.find("bump"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("g_hits"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("src/stats.cpp"), std::string::npos);
+}
+
+TEST(MgtlintCrossTu, DirectCapturedAccumulatorFires) {
+  EXPECT_TRUE(project_fires({{"src/sum.cpp", R"(
+    double sum(const std::vector<double>& v) {
+      double total = 0.0;
+      util::parallel_for(v.size(), [&](std::size_t i) { total += v[i]; });
+      return total;
+    }
+  )"}},
+                            "no-shared-mutation-in-parallel"));
+}
+
+TEST(MgtlintCrossTu, PerTaskSlotIdiomStaysSilent) {
+  EXPECT_FALSE(project_fires({{"src/sum.cpp", R"(
+    void produce(std::vector<double>& partial) {
+      util::parallel_for(partial.size(),
+                         [&](std::size_t i) { partial[i] = work(i); });
+    }
+  )"}},
+                             "no-shared-mutation-in-parallel"));
+}
+
+TEST(MgtlintCrossTu, AtomicCounterStaysSilent) {
+  EXPECT_FALSE(project_fires({{"src/count.cpp", R"(
+    int count(std::size_t n) {
+      std::atomic<int> done{0};
+      util::parallel_for(n, [&](std::size_t) { ++done; });
+      return done.load();
+    }
+  )"}},
+                             "no-shared-mutation-in-parallel"));
+}
+
+TEST(MgtlintCrossTu, LocalStaticMutatorFires) {
+  EXPECT_TRUE(project_fires({{"src/memo.cpp", R"(
+    int next_id() {
+      static int counter = 0;
+      counter += 1;
+      return counter;
+    }
+  )"},
+                             {"src/tag.cpp", R"(
+    void tag_all(std::size_t n) {
+      util::parallel_for(n, [&](std::size_t i) { stamp(i, next_id()); });
+    }
+  )"}},
+                            "no-shared-mutation-in-parallel"));
+}
+
+TEST(MgtlintCrossTu, SerialLambdaMutationStaysSilent) {
+  // Mutation is only a hazard under the parallel layer; a lambda handed to
+  // a plain algorithm may accumulate freely.
+  EXPECT_FALSE(project_fires({{"src/serial.cpp", R"(
+    double sum(const std::vector<double>& v) {
+      double total = 0.0;
+      std::for_each(v.begin(), v.end(), [&](double x) { total += x; });
+      return total;
+    }
+  )"}},
+                             "no-shared-mutation-in-parallel"));
+}
+
+TEST(MgtlintCrossTu, ParallelMutationAllowDirectiveSuppresses) {
+  EXPECT_FALSE(project_fires({{"src/sum.cpp", R"(
+    double sum(const std::vector<double>& v) {
+      double total = 0.0;
+      // disjoint by construction  mgtlint:allow(no-shared-mutation-in-parallel)
+      util::parallel_for(v.size(), [&](std::size_t i) { total += v[i]; });
+      return total;
+    }
+  )"}},
+                             "no-shared-mutation-in-parallel"));
+}
+
+// ---------------------------------------- cross-TU: nondet-flow family --
+
+// The wall-clock read hides in another file behind a sanctioned
+// mgtlint:allow — v1 is silent on both files, the taint still flows.
+TEST(MgtlintCrossTu, WallClockFlowsIntoCounterAcrossFilesFires) {
+  const char* boot = R"(
+    std::uint64_t boot_ns() {
+      // startup stamp, quarantined  mgtlint:allow(no-wall-clock)
+      auto t = std::chrono::steady_clock::now();
+      return (std::uint64_t)t.time_since_epoch().count();
+    }
+  )";
+  const char* metrics = R"(
+    void snapshot() { obs::add_counter("boot_ns", boot_ns()); }
+  )";
+  EXPECT_TRUE(fired_rules("src/boot.cpp", boot).empty());
+  EXPECT_TRUE(fired_rules("src/metrics.cpp", metrics).empty());
+  const auto diags = project({{"src/boot.cpp", boot},
+                              {"src/metrics.cpp", metrics}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "no-nondet-flow");
+  EXPECT_EQ(diags[0].file, "src/metrics.cpp");
+  EXPECT_NE(diags[0].message.find("steady_clock"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("src/boot.cpp"), std::string::npos);
+}
+
+TEST(MgtlintCrossTu, NondetFlowIsTransitiveThroughWrappers) {
+  const auto diags = project({{"src/boot.cpp", R"(
+    std::uint64_t boot_ns() {
+      // mgtlint:allow(no-wall-clock)
+      auto t = std::chrono::steady_clock::now();
+      return (std::uint64_t)t.time_since_epoch().count();
+    }
+  )"},
+                              {"src/uptime.cpp", R"(
+    std::uint64_t uptime_ns() { return boot_ns(); }
+  )"},
+                              {"src/metrics.cpp", R"(
+    void snapshot() {
+      obs::registry().gauge("uptime").set((double)uptime_ns());
+    }
+  )"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "no-nondet-flow");
+  EXPECT_NE(diags[0].message.find("uptime_ns"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("via"), std::string::npos);
+}
+
+TEST(MgtlintCrossTu, RngSeedFromRandFires) {
+  EXPECT_TRUE(project_fires({{"src/seed.cpp", R"(
+    std::uint64_t entropy() { return (std::uint64_t)rand(); }
+  )"},
+                             {"src/run.cpp", R"(
+    void run(std::size_t i) {
+      auto rng = util::task_rng(entropy(), i);
+      use(rng);
+    }
+  )"}},
+                            "no-nondet-flow"));
+}
+
+TEST(MgtlintCrossTu, DeterministicHelperIntoCounterStaysSilent) {
+  EXPECT_FALSE(project_fires({{"src/edges.cpp", R"(
+    std::uint64_t count_edges() { return 42; }
+  )"},
+                              {"src/metrics.cpp", R"(
+    void snapshot() { obs::add_counter("edges", count_edges()); }
+  )"}},
+                             "no-nondet-flow"));
+}
+
+TEST(MgtlintCrossTu, ProfileChannelIsQuarantinedNotFlagged) {
+  // profile_add is the designated wall-clock channel; routing a timestamp
+  // there is the *fix* for this rule, so it must stay silent.
+  EXPECT_FALSE(project_fires({{"src/boot.cpp", R"(
+    std::uint64_t boot_ns() {
+      // mgtlint:allow(no-wall-clock)
+      auto t = std::chrono::steady_clock::now();
+      return (std::uint64_t)t.time_since_epoch().count();
+    }
+  )"},
+                              {"src/metrics.cpp", R"(
+    void snapshot() { obs::registry().profile_add("boot", boot_ns()); }
+  )"}},
+                             "no-nondet-flow"));
+}
+
+TEST(MgtlintCrossTu, NondetFlowInBenchFilesStaysSilent) {
+  // Benches time themselves on purpose; the sinks only matter in src/.
+  EXPECT_FALSE(project_fires({{"src/boot.cpp", R"(
+    std::uint64_t boot_ns() {
+      // mgtlint:allow(no-wall-clock)
+      auto t = std::chrono::steady_clock::now();
+      return (std::uint64_t)t.time_since_epoch().count();
+    }
+  )"},
+                              {"bench/bench_x.cpp", R"(
+    void record() { obs::add_counter("boot", boot_ns()); }
+  )"}},
+                             "no-nondet-flow"));
+}
+
+// ------------------------------------------- cross-TU: unit-flow family --
+
+// Declaration in one header, unit-carrying call in another file: neither
+// buffer alone betrays the mismatch (the parameter has no unit suffix for
+// v1's unit-suffix-double rule to catch).
+TEST(MgtlintCrossTu, UnitValueIntoRawDoubleHeaderParamFires) {
+  const char* hdr = R"(
+    namespace pll {
+    void set_phase(double x);
+    }  // namespace pll
+  )";
+  const char* impl = R"(
+    void tune(Picoseconds step) { pll::set_phase(step.ps()); }
+  )";
+  EXPECT_TRUE(fired_rules("src/pll/phase.hpp", hdr).empty());
+  EXPECT_TRUE(fired_rules("src/pll/tune.cpp", impl).empty());
+  const auto diags = project({{"src/pll/phase.hpp", hdr},
+                              {"src/pll/tune.cpp", impl}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "unit-flow-raw-double");
+  EXPECT_EQ(diags[0].file, "src/pll/tune.cpp");
+  EXPECT_NE(diags[0].message.find("Picoseconds"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("set_phase"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("src/pll/phase.hpp"), std::string::npos);
+}
+
+TEST(MgtlintCrossTu, UnitSuffixedIdentifierAlsoCarriesEvidence) {
+  EXPECT_TRUE(project_fires({{"src/pll/phase.hpp", R"(
+    void set_phase(double x);
+  )"},
+                             {"src/pll/tune.cpp", R"(
+    void tune(double jitter_ps) { set_phase(jitter_ps); }
+  )"}},
+                            "unit-flow-raw-double"));
+}
+
+TEST(MgtlintCrossTu, StrongTypedParameterStaysSilent) {
+  EXPECT_FALSE(project_fires({{"src/pll/phase.hpp", R"(
+    void set_phase(Picoseconds x);
+  )"},
+                              {"src/pll/tune.cpp", R"(
+    void tune(Picoseconds step) { set_phase(step); }
+  )"}},
+                             "unit-flow-raw-double"));
+}
+
+TEST(MgtlintCrossTu, UtilNumericSubstrateIsExempt) {
+  // rng/digest/hashing deliberately erase units; gaussian(mean, sigma) on
+  // raw doubles is the contract there, not an omission.
+  EXPECT_FALSE(project_fires({{"src/util/rng.hpp", R"(
+    double gaussian(double mean, double sigma);
+  )"},
+                              {"src/pll/tune.cpp", R"(
+    double jitter(Rng& rng, Picoseconds sigma) {
+      return gaussian(0.0, sigma.ps());
+    }
+  )"}},
+                             "unit-flow-raw-double"));
+}
+
+TEST(MgtlintCrossTu, ImplOnlyDeclarationStaysSilent) {
+  // No header declaration -> not a public API boundary; a TU-local helper
+  // taking a raw double is fine.
+  EXPECT_FALSE(project_fires({{"src/pll/tune.cpp", R"(
+    static void set_phase_impl(double x) { poke(x); }
+    void tune(Picoseconds step) { set_phase_impl(step.ps()); }
+  )"}},
+                             "unit-flow-raw-double"));
+}
+
+// --------------------------------------------------------------- fixes --
+
+TEST(MgtlintFix, CatchByValueFixRewritesToConstRef) {
+  const std::string code = R"(
+    void f() {
+      try { g(); } catch (std::runtime_error e) { log(e); }
+    }
+  )";
+  const auto diags = lint_source("src/a.cpp", code);
+  ASSERT_EQ(diags.size(), 1u);
+  ASSERT_TRUE(diags[0].fix.has_value());
+  std::string fixed = code;
+  fixed.replace(diags[0].fix->begin, diags[0].fix->end - diags[0].fix->begin,
+                diags[0].fix->replacement);
+  EXPECT_NE(fixed.find("catch (const std::runtime_error& e)"),
+            std::string::npos);
+  EXPECT_TRUE(lint_source("src/a.cpp", fixed).empty());
+}
+
+TEST(MgtlintFix, DiscardedStatusFixInsertsVoidCast) {
+  const std::string code = R"(
+    void f(System& sys) {
+      sys.self_test();
+    }
+  )";
+  const auto diags = lint_source("src/a.cpp", code);
+  ASSERT_EQ(diags.size(), 1u);
+  ASSERT_TRUE(diags[0].fix.has_value());
+  std::string fixed = code;
+  fixed.replace(diags[0].fix->begin, diags[0].fix->end - diags[0].fix->begin,
+                diags[0].fix->replacement);
+  EXPECT_NE(fixed.find("(void)sys.self_test();"), std::string::npos);
+  EXPECT_TRUE(lint_source("src/a.cpp", fixed).empty());
+}
+
+// ------------------------------------------------------------- baseline --
+
+TEST(MgtlintBaseline, RoundTripSuppressesExactlyTheSnapshot) {
+  const std::vector<mgtlint::ProjectInput> files = {
+      {"src/sum.cpp", R"(
+    double sum(const std::vector<double>& v) {
+      double total = 0.0;
+      util::parallel_for(v.size(), [&](std::size_t i) { total += v[i]; });
+      return total;
+    }
+  )"}};
+  const auto diags = project(files);
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string text = mgtlint::write_baseline(diags);
+  EXPECT_NE(text.find("# mgtlint baseline v1"), std::string::npos);
+  const auto entries = mgtlint::parse_baseline(text);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "no-shared-mutation-in-parallel");
+  EXPECT_EQ(entries[0].path, "src/sum.cpp");
+  EXPECT_EQ(entries[0].line_hash, diags[0].line_hash);
+  EXPECT_TRUE(mgtlint::apply_baseline(diags, entries).empty());
+}
+
+TEST(MgtlintBaseline, FingerprintSurvivesLineDrift) {
+  const char* v1_code = R"(
+    double sum(const std::vector<double>& v) {
+      double total = 0.0;
+      util::parallel_for(v.size(), [&](std::size_t i) { total += v[i]; });
+      return total;
+    }
+  )";
+  // Same finding, pushed three lines down by an unrelated edit.
+  const char* v2_code = R"(
+    // A header comment added later,
+    // spanning several lines,
+    // moves everything below it.
+    double sum(const std::vector<double>& v) {
+      double total = 0.0;
+      util::parallel_for(v.size(), [&](std::size_t i) { total += v[i]; });
+      return total;
+    }
+  )";
+  const auto baseline = mgtlint::parse_baseline(
+      mgtlint::write_baseline(project({{"src/sum.cpp", v1_code}})));
+  const auto drifted = project({{"src/sum.cpp", v2_code}});
+  ASSERT_EQ(drifted.size(), 1u);
+  EXPECT_TRUE(mgtlint::apply_baseline(drifted, baseline).empty());
+}
+
+TEST(MgtlintBaseline, NewFindingIsNotSuppressed) {
+  const auto baseline = mgtlint::parse_baseline("# mgtlint baseline v1\n");
+  const auto diags = project({{"src/sum.cpp", R"(
+    double sum(const std::vector<double>& v) {
+      double total = 0.0;
+      util::parallel_for(v.size(), [&](std::size_t i) { total += v[i]; });
+      return total;
+    }
+  )"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(mgtlint::apply_baseline(diags, baseline).size(), 1u);
+}
+
+TEST(MgtlintBaseline, MalformedLinesAreSkippedNotFatal) {
+  const auto entries = mgtlint::parse_baseline(
+      "# comment\n"
+      "\n"
+      "just-a-rule\n"
+      "rule path nothex 0\n"
+      "rule path 00000000000000ff notanumber\n"
+      "good-rule src/a.cpp 00000000000000ff 2\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "good-rule");
+  EXPECT_EQ(entries[0].line_hash, 0xffu);
+  EXPECT_EQ(entries[0].ordinal, 2u);
+}
+
+// ---------------------------------------------------------------- SARIF --
+
+TEST(MgtlintSarif, GoldenSingleResult) {
+  mgtlint::Diagnostic d;
+  d.file = "src/pll/tune.cpp";
+  d.line = 3;
+  d.column = 7;
+  d.rule = "unit-flow-raw-double";
+  d.message = "a \"quoted\" message";
+  d.line_hash = 0x1234abcd5678ef00ull;
+  const std::string sarif = mgtlint::to_sarif({d});
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"mgtlint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"unit-flow-raw-double\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/pll/tune.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3, \"startColumn\": 7"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("a \\\"quoted\\\" message"), std::string::npos);
+  EXPECT_NE(sarif.find("\"mgtlintLineHash/v1\": \"1234abcd5678ef00\""),
+            std::string::npos);
+  // Every catalog rule appears in tool.driver.rules.
+  for (const auto& r : mgtlint::rule_catalog()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(r.id) + "\""),
+              std::string::npos)
+        << std::string(r.id);
+  }
+}
+
+TEST(MgtlintSarif, EmptyRunHasEmptyResults) {
+  const std::string sarif = mgtlint::to_sarif({});
+  EXPECT_NE(sarif.find("\"results\": [\n      ]"), std::string::npos);
 }
 
 }  // namespace
