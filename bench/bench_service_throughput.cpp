@@ -1,0 +1,220 @@
+// Service-layer throughput: 1200 queued test sessions through the
+// multi-tenant scheduler, clean and under a seeded chaos plan.
+//
+// The paper's Fig-13 scale-out argument is that cheap replicated tester
+// sites turn test time into a queueing problem; this bench measures the
+// session layer that owns that queue. It submits 1200 plans (eye scans,
+// shmoo grids, fault sweeps, link soaks) from six tenants against an
+// 8-site fleet, drains to completion in virtual time, and reports
+// admission-to-completion latency quantiles (p50/p95/p99 in ticks),
+// chunk throughput per tick, and the exact-accounting identity — then
+// repeats the run under a chaos plan (site hang + spurious busy + slow
+// site) to price the resilience machinery: retry pressure, breaker
+// trips, and the p99 shift. The JSON document is BENCH_service.json.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/fault.hpp"
+#include "service/plan.hpp"
+#include "service/scheduler.hpp"
+
+using namespace mgt;
+
+namespace {
+
+constexpr std::size_t kSessions = 1200;
+constexpr std::size_t kTenants = 6;
+
+fault::FaultPlan chaos_plan() {
+  fault::FaultPlan plan(9090);
+  plan.schedule({.kind = fault::FaultKind::kSiteHang,
+                 .component = "site",
+                 .index = 0,
+                 .start = 50,
+                 .duration = 400});
+  plan.schedule({.kind = fault::FaultKind::kSpuriousBusy,
+                 .component = "site",
+                 .index = 3,
+                 .severity = 0.25,
+                 .start = 0,
+                 .duration = 2000});
+  plan.schedule({.kind = fault::FaultKind::kSiteSlow,
+                 .component = "site",
+                 .index = 5,
+                 .severity = 1.0,
+                 .start = 0,
+                 .duration = fault::FaultSpec::kForever});
+  return plan;
+}
+
+service::Scheduler::Config make_config(bool chaos) {
+  service::Scheduler::Config config;
+  config.fleet.sites = 8;
+  config.fleet.slow_multiplier = 4;
+  if (chaos) {
+    config.fleet.faults = chaos_plan();
+  }
+  config.tenant_queue_limit = 400;   // the whole backlog must admit
+  config.global_queue_limit = 2048;
+  config.hang_budget_ticks = 4;
+  config.breaker.failure_threshold = 3;
+  config.breaker.quarantine_ticks = 32;
+  config.breaker.max_quarantine_ticks = 256;
+  config.work_iterations = 64;
+  return config;
+}
+
+service::TestPlan session(std::size_t i) {
+  service::TestPlan p;
+  p.kind = static_cast<service::PlanKind>(i % 4);
+  p.tenant = "tenant" + std::to_string(i % kTenants);
+  p.shards = 1 + i % 4;
+  p.chunks_per_shard = 2 + i % 3;
+  p.chunk_cost_ticks = 1 + i % 2;
+  p.seed_salt = i;  // distinct results; dedup is exercised in tests
+  return p;
+}
+
+struct RunResult {
+  service::ServiceStats stats;
+  std::uint64_t ticks = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  bool accounting_exact = false;
+};
+
+RunResult run(bool chaos) {
+  service::Scheduler sched(make_config(chaos), /*seed=*/4242);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    if (!sched.submit(session(i)).accepted) {
+      continue;  // shed sessions are counted in stats
+    }
+  }
+  const bool drained = sched.drain(1'000'000);
+
+  std::vector<std::uint64_t> latencies;
+  bool exact = drained;
+  for (const service::PlanResult& r : sched.finished_results()) {
+    latencies.push_back(r.finished_tick - r.admitted_tick);
+    exact = exact && r.accounting_exact();
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto quantile = [&](double q) {
+    if (latencies.empty()) {
+      return 0.0;
+    }
+    const std::size_t at = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies.size())));
+    return static_cast<double>(latencies[at]);
+  };
+
+  RunResult out;
+  out.stats = sched.stats();
+  out.ticks = sched.tick();
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  out.accounting_exact =
+      exact && out.stats.admitted ==
+                   out.stats.completed + out.stats.partial + out.stats.abandoned;
+  return out;
+}
+
+void add_run_rows(ReportTable& table, const char* label, const RunResult& r) {
+  const std::string prefix = std::string(label) + " ";
+  table.add_comparison(
+      prefix + "sessions", "1000+ queued",
+      std::to_string(r.stats.admitted) + " admitted / " +
+          std::to_string(r.stats.completed) + " completed / " +
+          std::to_string(r.stats.partial) + " partial / " +
+          std::to_string(r.stats.abandoned) + " abandoned",
+      r.stats.admitted >= 1000 ? "OK (queued)" : "DEVIATES");
+  table.add_comparison(
+      prefix + "accounting", "admitted == finished, per-plan exact",
+      r.accounting_exact ? "identity holds" : "identity BROKEN",
+      r.accounting_exact ? "OK (exact)" : "DEVIATES");
+  table.add_comparison(
+      prefix + "latency", "bounded tail",
+      "p50 " + fmt(r.p50, 0) + " / p95 " + fmt(r.p95, 0) + " / p99 " +
+          fmt(r.p99, 0) + " ticks",
+      "");
+  const double per_tick =
+      r.ticks == 0 ? 0.0
+                   : static_cast<double>(r.stats.chunks_completed) /
+                         static_cast<double>(r.ticks);
+  table.add_comparison(
+      prefix + "throughput", "~sites chunks/tick",
+      fmt(per_tick, 2) + " chunks/tick over " + std::to_string(r.ticks) +
+          " ticks",
+      "");
+}
+
+void run_reproduction(ReportTable& table) {
+  const RunResult clean = run(/*chaos=*/false);
+  const RunResult chaos = run(/*chaos=*/true);
+  add_run_rows(table, "clean", clean);
+  add_run_rows(table, "chaos", chaos);
+  table.add_comparison(
+      "chaos pressure", "retries > 0, breakers trip",
+      std::to_string(chaos.stats.chunks_retried) + " retries, " +
+          std::to_string(chaos.stats.breaker_trips) + " trips, " +
+          std::to_string(chaos.stats.breaker_reinstated) + " reinstated, " +
+          std::to_string(chaos.stats.probes) + " probes",
+      chaos.stats.chunks_retried > 0 && chaos.stats.breaker_trips > 0
+          ? "OK (chaos bit)"
+          : "DEVIATES");
+  table.add_comparison(
+      "chaos p99 cost", "graceful (bounded inflation)",
+      fmt(clean.p99, 0) + " -> " + fmt(chaos.p99, 0) + " ticks",
+      chaos.p99 >= clean.p99 ? "OK (priced)" : "DEVIATES");
+}
+
+void bm_drain_clean(benchmark::State& state) {
+  for (auto _ : state) {
+    service::Scheduler sched(make_config(false), 4242);
+    for (std::size_t i = 0; i < 200; ++i) {
+      (void)sched.submit(session(i));
+    }
+    benchmark::DoNotOptimize(sched.drain(1'000'000));
+  }
+}
+BENCHMARK(bm_drain_clean)->Unit(benchmark::kMillisecond);
+
+void bm_drain_chaos(benchmark::State& state) {
+  for (auto _ : state) {
+    service::Scheduler sched(make_config(true), 4242);
+    for (std::size_t i = 0; i < 200; ++i) {
+      (void)sched.submit(session(i));
+    }
+    benchmark::DoNotOptimize(sched.drain(1'000'000));
+  }
+}
+BENCHMARK(bm_drain_chaos)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReportTable table =
+      bench::make_table("Service throughput: 1200 sessions, clean vs chaos");
+  run_reproduction(table);
+  table.print(std::cout);
+  // Exported under the explicit name "service" (not the binary name) so the
+  // document is BENCH_service.json, next to the table the obs snapshot with
+  // the service.* counters and the latency histogram.
+  const std::string json_path = obs::write_bench_json(table, "service");
+  if (!json_path.empty()) {
+    std::cout << "bench json: " << json_path << "\n";
+  }
+  std::cout.flush();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

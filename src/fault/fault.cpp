@@ -45,6 +45,12 @@ std::string_view to_string(FaultKind kind) {
       return "frame-corruption";
     case FaultKind::kSyncLoss:
       return "sync-loss";
+    case FaultKind::kSiteHang:
+      return "site-hang";
+    case FaultKind::kSiteSlow:
+      return "site-slow";
+    case FaultKind::kSpuriousBusy:
+      return "spurious-busy";
   }
   return "unknown";
 }

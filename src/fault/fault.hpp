@@ -37,6 +37,9 @@ enum class FaultKind {
   kProbeContactLoss,  // probe-card contact lifted at a die site
   kFrameCorruption,   // link-layer bit flips (severity = flip probability)
   kSyncLoss,          // frame-bit violation forcing receiver resync
+  kSiteHang,          // tester site stops making progress (chunk never ends)
+  kSiteSlow,          // tester site degraded (chunk cost multiplied)
+  kSpuriousBusy,      // site rejects work it should accept (severity = prob.)
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
@@ -52,6 +55,7 @@ enum class FaultKind {
 ///   "optics"         LossOfSignal               channel      send count
 ///   "fabric"         NodeFailure                flat node    packet slot
 ///   "array"          DeadPin / ProbeContactLoss site         touchdown
+///   "site"           SiteHang/Slow/SpuriousBusy site         virtual tick
 ///
 /// `severity` is a 0..1 knob: drift distance, glitch probability/amplitude,
 /// or the affected fraction when `index` is kAllIndices.

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -72,13 +73,10 @@ struct Registry::Impl {
 
 Registry::Registry() : impl_(new Impl) {
   // MGT_OBS=0 / off / false disables instrumentation for overhead-sensitive
-  // runs; anything else (including unset) leaves it on.
-  const char* raw = std::getenv("MGT_OBS");
-  if (raw != nullptr) {
-    const std::string_view v(raw);
-    if (v == "0" || v == "off" || v == "false") {
-      enabled_.store(false, std::memory_order_relaxed);
-    }
+  // runs; unset leaves it on and a malformed value keeps the default while
+  // being counted in util::env_rejections ("mgt.env.rejected").
+  if (!util::env_flag("MGT_OBS").value_or(true)) {
+    enabled_.store(false, std::memory_order_relaxed);
   }
 }
 
@@ -295,6 +293,7 @@ void refresh_bridged() {
     return;
   }
   r.counter("mgt.threads.rejected").set(util::thread_env_rejections());
+  r.counter("mgt.env.rejected").set(util::env_rejections());
 }
 
 }  // namespace mgt::obs

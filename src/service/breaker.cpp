@@ -1,0 +1,79 @@
+#include "service/breaker.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mgt::service {
+
+std::string_view to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "CLOSED";
+    case BreakerState::kOpen:
+      return "OPEN";
+    case BreakerState::kHalfOpen:
+      return "HALF_OPEN";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(Config config) : config_(config) {
+  MGT_CHECK(config_.failure_threshold > 0,
+            "breaker failure threshold must be positive");
+  MGT_CHECK(config_.quarantine_ticks > 0,
+            "breaker quarantine must be positive");
+  MGT_CHECK(config_.max_quarantine_ticks >= config_.quarantine_ticks,
+            "breaker quarantine cap below the base window");
+}
+
+BreakerState CircuitBreaker::state(std::uint64_t tick) const {
+  if (stored_ == BreakerState::kClosed) {
+    return BreakerState::kClosed;
+  }
+  return tick >= reopen_tick_ ? BreakerState::kHalfOpen : BreakerState::kOpen;
+}
+
+bool CircuitBreaker::allows_work(std::uint64_t tick) const {
+  return state(tick) == BreakerState::kClosed;
+}
+
+bool CircuitBreaker::wants_probe(std::uint64_t tick) const {
+  return state(tick) == BreakerState::kHalfOpen;
+}
+
+void CircuitBreaker::record_success(std::uint64_t tick) {
+  consecutive_failures_ = 0;
+  if (state(tick) != BreakerState::kClosed) {
+    // Probe success from HALF_OPEN: reinstate and forget the escalation.
+    stored_ = BreakerState::kClosed;
+    current_quarantine_ = 0;
+  }
+}
+
+void CircuitBreaker::record_failure(std::uint64_t tick) {
+  ++consecutive_failures_;
+  const BreakerState now = state(tick);
+  if (now == BreakerState::kHalfOpen) {
+    trip(tick);  // failed probe: straight back to OPEN, escalated
+    return;
+  }
+  if (now == BreakerState::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    trip(tick);
+  }
+  // Failures while already OPEN (e.g. late hang verdicts for work assigned
+  // before the trip) keep the count but cannot re-trip.
+}
+
+void CircuitBreaker::trip(std::uint64_t tick) {
+  current_quarantine_ =
+      current_quarantine_ == 0
+          ? config_.quarantine_ticks
+          : std::min(current_quarantine_ * 2, config_.max_quarantine_ticks);
+  stored_ = BreakerState::kOpen;
+  reopen_tick_ = tick + current_quarantine_;
+  ++trips_;
+}
+
+}  // namespace mgt::service

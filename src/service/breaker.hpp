@@ -1,0 +1,89 @@
+// Per-site circuit breaker.
+//
+// Classic three-state breaker, driven by two signals: consecutive chunk
+// failures on the site (hang aborts, failed chunks, spurious-busy
+// refusals) and the verdict of a HALF_OPEN self-test probe. All timing is
+// virtual-tick based — quarantine windows are deterministic and replay
+// byte-identically at every MGT_THREADS setting.
+//
+//   CLOSED ──(failure_threshold consecutive failures)──> OPEN
+//   OPEN   ──(quarantine_ticks elapse)────────────────> HALF_OPEN
+//   HALF_OPEN ──(probe ok)──> CLOSED (quarantine resets to base)
+//   HALF_OPEN ──(probe bad)─> OPEN   (quarantine doubles, capped)
+//
+// The escalating quarantine keeps a persistently sick site from consuming
+// a probe slot every base window, while the cap guarantees a recovered
+// site is reinstated within a bounded number of ticks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mgt::service {
+
+enum class BreakerState {
+  kClosed,    // site in rotation
+  kOpen,      // site quarantined; no work, no probes
+  kHalfOpen,  // quarantine elapsed; next scheduling slot runs a probe
+};
+
+[[nodiscard]] std::string_view to_string(BreakerState state);
+
+class CircuitBreaker {
+public:
+  struct Config {
+    /// Consecutive failures that trip CLOSED -> OPEN.
+    std::size_t failure_threshold = 3;
+    /// Base quarantine window (virtual ticks) for the first trip.
+    std::uint64_t quarantine_ticks = 32;
+    /// Ceiling for the doubling quarantine escalation.
+    std::uint64_t max_quarantine_ticks = 256;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Config{}) {}
+  explicit CircuitBreaker(Config config);
+
+  /// State as of `tick`. OPEN reports HALF_OPEN once the quarantine window
+  /// has elapsed (the transition is time-driven, not event-driven).
+  [[nodiscard]] BreakerState state(std::uint64_t tick) const;
+
+  /// True when the site may be handed regular work at `tick` (CLOSED only;
+  /// HALF_OPEN sites get exactly one probe, not work).
+  [[nodiscard]] bool allows_work(std::uint64_t tick) const;
+
+  /// True when the site should be probed at `tick` (HALF_OPEN).
+  [[nodiscard]] bool wants_probe(std::uint64_t tick) const;
+
+  /// A chunk completed on the site: resets the consecutive-failure count;
+  /// from HALF_OPEN (probe success) closes the breaker and resets the
+  /// quarantine escalation.
+  void record_success(std::uint64_t tick);
+
+  /// A chunk failed / the site refused work / a probe failed. From CLOSED,
+  /// trips OPEN at the threshold; from HALF_OPEN, re-opens with a doubled
+  /// (capped) quarantine window.
+  void record_failure(std::uint64_t tick);
+
+  /// Consecutive failures recorded since the last success.
+  [[nodiscard]] std::size_t consecutive_failures() const {
+    return consecutive_failures_;
+  }
+  /// Times the breaker has tripped CLOSED/HALF_OPEN -> OPEN.
+  [[nodiscard]] std::uint64_t trips() const { return trips_; }
+  /// Tick at which an OPEN breaker becomes HALF_OPEN.
+  [[nodiscard]] std::uint64_t reopen_tick() const { return reopen_tick_; }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+  void trip(std::uint64_t tick);
+
+  Config config_;
+  BreakerState stored_ = BreakerState::kClosed;  // OPEN covers HALF_OPEN
+  std::size_t consecutive_failures_ = 0;
+  std::uint64_t current_quarantine_ = 0;  // set on first trip
+  std::uint64_t reopen_tick_ = 0;
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace mgt::service

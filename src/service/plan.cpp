@@ -1,0 +1,45 @@
+#include "service/plan.hpp"
+
+namespace mgt::service {
+
+std::string_view to_string(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kEyeScan:
+      return "eye-scan";
+    case PlanKind::kShmoo:
+      return "shmoo";
+    case PlanKind::kFaultSweep:
+      return "fault-sweep";
+    case PlanKind::kLinkSoak:
+      return "link-soak";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kInvalidPlan:
+      return "invalid-plan";
+    case RejectReason::kTenantQueueFull:
+      return "tenant-queue-full";
+    case RejectReason::kGlobalShed:
+      return "global-shed";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(PlanOutcome outcome) {
+  switch (outcome) {
+    case PlanOutcome::kCompleted:
+      return "completed";
+    case PlanOutcome::kPartial:
+      return "partial";
+    case PlanOutcome::kAbandoned:
+      return "abandoned";
+  }
+  return "unknown";
+}
+
+}  // namespace mgt::service

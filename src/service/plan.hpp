@@ -1,0 +1,127 @@
+// Test plans: the request surface of the test-as-a-service layer.
+//
+// A client (tenant) submits a TestPlan — an eye scan, a shmoo grid, a fault
+// sweep or a link soak — against the scheduler's fleet of simulated tester
+// sites. A plan decomposes into `shards` independent work units; each shard
+// executes as a sequence of `chunks_per_shard` chunks, and the chunk
+// boundary is the cooperative-cancellation point: deadlines, retries and
+// site failures are only ever acted on between chunks, never mid-chunk.
+//
+// Every admitted plan terminates in exactly one of three outcomes, and the
+// accounting is exact (the same invariant discipline as the link layer's
+// offered == delivered + abandoned):
+//
+//   admitted == completed + partial + abandoned        (scheduler-wide)
+//   shards   == shards_completed + shards_abandoned    (per plan)
+//
+// Chunk results are pure functions of (tenant seed namespace, plan salt,
+// shard, chunk) — never of which site ran the chunk or how many retries it
+// took — so a plan that completes under a chaos plan produces the same
+// digest as the fault-free run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mgt::service {
+
+/// The workload families the paper's Fig-13 scale-out argument serves.
+enum class PlanKind {
+  kEyeScan,     // one acquisition per shard (short, latency sensitive)
+  kShmoo,       // grid cells as shards (wide fan-out)
+  kFaultSweep,  // severity points as shards (medium)
+  kLinkSoak,    // long-running soak shards (throughput sensitive)
+};
+
+[[nodiscard]] std::string_view to_string(PlanKind kind);
+
+/// A client request. Value type; validated at submission.
+struct TestPlan {
+  PlanKind kind = PlanKind::kEyeScan;
+  /// Tenant namespace: queues, quotas, metrics and seeds are all scoped by
+  /// this name. Two tenants never perturb each other's results.
+  std::string tenant;
+  /// Independent work units; each shard may run on a different site and is
+  /// individually retried onto healthy sites when its site faults.
+  std::size_t shards = 1;
+  /// Chunks per shard; the chunk boundary is the cancellation point.
+  std::size_t chunks_per_shard = 4;
+  /// Virtual-tick cost of one chunk on a healthy site.
+  std::uint64_t chunk_cost_ticks = 1;
+  /// Completion deadline in virtual ticks after admission; 0 = none. A plan
+  /// past its deadline is cancelled at the next chunk boundary and returns
+  /// the shards it completed (partial results, exact accounting).
+  std::uint64_t deadline_ticks = 0;
+  /// Salt within the tenant's seed namespace: two plans with the same salt
+  /// and shape produce identical chunk digests, enabling result dedup.
+  std::uint64_t seed_salt = 0;
+};
+
+/// Why admission control refused a plan. Typed, counted in obs, and
+/// returned to the client — load shedding is explicit, never silent.
+enum class RejectReason {
+  kNone,             // admitted
+  kInvalidPlan,      // zero shards/chunks, empty tenant name, zero cost
+  kTenantQueueFull,  // the tenant's bounded queue is at capacity
+  kGlobalShed,       // scheduler-wide admitted-but-unfinished limit hit
+};
+
+[[nodiscard]] std::string_view to_string(RejectReason reason);
+
+/// Admission verdict: either an accepted plan id or a typed rejection.
+struct Admission {
+  bool accepted = false;
+  RejectReason reason = RejectReason::kNone;
+  /// Valid only when accepted.
+  std::uint64_t plan_id = 0;
+};
+
+/// How an admitted plan terminated.
+enum class PlanOutcome {
+  kCompleted,  // every shard completed
+  kPartial,    // some shards completed, the rest abandoned
+  kAbandoned,  // no shard completed
+};
+
+[[nodiscard]] std::string_view to_string(PlanOutcome outcome);
+
+/// Final accounting for one admitted plan. All counts are exact:
+///   shards          == shards_completed + shards_abandoned
+///   chunk attempts  == chunks_completed + chunks_failed  (failures retried
+///                      or abandoned per the retry budget)
+struct PlanResult {
+  std::uint64_t plan_id = 0;
+  PlanKind kind = PlanKind::kEyeScan;
+  std::string tenant;
+  PlanOutcome outcome = PlanOutcome::kCompleted;
+
+  std::size_t shards = 0;
+  std::size_t shards_completed = 0;
+  std::size_t shards_abandoned = 0;
+
+  /// Chunks that ran to completion (exactly once per completed chunk; a
+  /// chunk re-executed after a site fault counts its failures separately).
+  std::uint64_t chunks_completed = 0;
+  /// Chunk executions lost to site faults (hang aborts, failed chunks) and
+  /// then re-queued: the retry pressure the chaos plan generated.
+  std::uint64_t chunks_retried = 0;
+  /// Chunk executions never completed and no retry budget left.
+  std::uint64_t chunks_abandoned = 0;
+
+  std::uint64_t admitted_tick = 0;
+  std::uint64_t finished_tick = 0;
+  /// True when cancellation was deadline-driven (vs. sites dying).
+  bool deadline_exceeded = false;
+
+  /// Order-independent-of-chaos result fingerprint: folds the digests of
+  /// completed shards in shard-index order. A completed plan's digest never
+  /// depends on retries, site assignment or thread count.
+  std::uint64_t digest = 0;
+
+  [[nodiscard]] bool accounting_exact() const {
+    return shards == shards_completed + shards_abandoned;
+  }
+};
+
+}  // namespace mgt::service

@@ -1,0 +1,258 @@
+// Multi-tenant test-session scheduler: deterministic test-as-a-service.
+//
+// Clients submit TestPlans against a SiteFleet; the scheduler owns the
+// whole lifecycle and every failure mode is handled explicitly:
+//
+//   admission    bounded per-tenant queues plus a global load-shed limit;
+//                a rejected plan gets a typed RejectReason and is counted
+//                in obs ("service.rejected.*") — shedding is never silent
+//   fairness     round-robin across tenants (submission order), FIFO
+//                within a tenant, shard-index order within a plan
+//   deadlines    per-plan virtual-tick deadlines with cooperative
+//                cancellation checked at chunk boundaries only
+//   retries      a failed shard execution (hang abort, spurious-busy
+//                refusal) re-queues with capped exponential backoff onto
+//                whatever site is healthy when it comes up again
+//   breakers     per-site CLOSED/OPEN/HALF_OPEN circuit breakers driven by
+//                consecutive-failure counts and HALF_OPEN self_test()
+//                probes (HealthReport verdicts), with escalating
+//                quarantine and probed reinstatement
+//   degradation  a plan whose sites die mid-run returns partial results
+//                with exact accounting:
+//                    admitted     == completed + partial + abandoned
+//                    plan shards  == shards_completed + shards_abandoned
+//                    plan chunks  == chunks_completed + chunks_abandoned
+//
+// Determinism contract (the same discipline as every other layer):
+//  - All timing is virtual: one step() is one tick, and every timeout,
+//    backoff window and quarantine is tick-arithmetic. No wall clock.
+//  - Scheduling decisions run in the serial section in fixed order (site
+//    index, tenant round-robin); worker threads only compute chunk digests
+//    into per-slot storage, folded back in site order. Results are
+//    byte-identical at MGT_THREADS 0/1/8.
+//  - Tenant seed namespaces: chunk results are keyed on (scheduler seed,
+//    tenant name, plan salt, kind, shard, chunk) — never on plan id, site
+//    or retry count — so concurrent tenants cannot perturb each other and
+//    identical plans dedup to identical digests.
+//  - An empty chaos plan is byte-identical to a fault-free scheduler.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/health.hpp"
+#include "service/breaker.hpp"
+#include "service/plan.hpp"
+#include "service/site.hpp"
+
+namespace mgt::service {
+
+/// Scheduler-wide counters. All exact; the admission identity
+/// submitted == admitted + rejected_* and the termination identity
+/// admitted == completed + partial + abandoned + in_flight() hold at every
+/// tick (in_flight() reaches zero after a successful drain()).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_tenant_queue_full = 0;
+  std::uint64_t rejected_global_shed = 0;
+
+  std::uint64_t completed = 0;
+  std::uint64_t partial = 0;
+  std::uint64_t abandoned = 0;
+
+  std::uint64_t chunks_completed = 0;
+  std::uint64_t chunks_retried = 0;
+  std::uint64_t chunks_abandoned = 0;
+
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_reinstated = 0;
+  std::uint64_t probes = 0;
+
+  [[nodiscard]] std::uint64_t rejected() const {
+    return rejected_invalid + rejected_tenant_queue_full + rejected_global_shed;
+  }
+  [[nodiscard]] std::uint64_t finished() const {
+    return completed + partial + abandoned;
+  }
+  [[nodiscard]] std::uint64_t in_flight() const {
+    return admitted - finished();
+  }
+};
+
+class Scheduler {
+public:
+  struct Config {
+    SiteFleet::Config fleet{};
+    /// Admitted-but-unfinished plans one tenant may hold; submissions
+    /// beyond it are rejected kTenantQueueFull.
+    std::size_t tenant_queue_limit = 64;
+    /// Admitted-but-unfinished plans across all tenants; beyond it every
+    /// submission is shed with kGlobalShed until load drains.
+    std::size_t global_queue_limit = 4096;
+    /// Ticks a busy site may sit hung (no progress) before the scheduler
+    /// aborts the chunk, fails the site and re-queues the shard.
+    std::uint64_t hang_budget_ticks = 4;
+    /// Failed executions one shard may accumulate before it is abandoned.
+    std::size_t max_shard_retries = 3;
+    /// Retry backoff: min(base << attempt, cap) ticks.
+    std::uint64_t backoff_base_ticks = 2;
+    std::uint64_t backoff_cap_ticks = 32;
+    CircuitBreaker::Config breaker{};
+    /// splitmix rounds of simulated measurement per chunk execution.
+    std::uint64_t work_iterations = 256;
+  };
+
+  Scheduler(Config config, std::uint64_t seed);
+
+  /// Admission control. Runs in the serial section; returns a typed
+  /// verdict immediately (no blocking, no waiting room).
+  Admission submit(const TestPlan& plan);
+
+  /// Advances virtual time by one tick: site progress, hang detection,
+  /// chunk completions (digests computed via the parallel layer), retries,
+  /// breaker updates, probes and assignments.
+  void step();
+
+  /// Runs `n` ticks.
+  void run_for(std::uint64_t n);
+
+  /// Steps until every admitted plan has terminated, or `max_ticks` have
+  /// elapsed. On budget exhaustion every in-flight plan is force-finalized
+  /// (partial/abandoned by its current accounting) so the termination
+  /// identity holds either way. Returns true when the queue drained
+  /// naturally inside the budget.
+  bool drain(std::uint64_t max_ticks);
+
+  [[nodiscard]] std::uint64_t tick() const { return tick_; }
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Result of a finished plan, or nullptr while it is queued/running (or
+  /// for an id never admitted).
+  [[nodiscard]] const PlanResult* result(std::uint64_t plan_id) const;
+
+  /// All finished results in plan-id order (the byte-identity surface the
+  /// property tests compare across thread counts and chaos plans).
+  [[nodiscard]] std::vector<PlanResult> finished_results() const;
+
+  /// Breaker state of one site at the current tick.
+  [[nodiscard]] BreakerState breaker_state(std::size_t site) const;
+  [[nodiscard]] const CircuitBreaker& breaker(std::size_t site) const;
+
+  /// Scheduler health: admission pressure and breaker census under
+  /// "scheduler", per-site fault-state verdicts under "fleet.". Degraded
+  /// when any breaker is open or load is being shed; failed when every
+  /// site is quarantined (no work can flow at all).
+  [[nodiscard]] fault::HealthReport self_test();
+
+  /// One line per finished plan ("id tenant kind outcome shards a/b ...")
+  /// plus a stats trailer — the deterministic replay fingerprint used by
+  /// the byte-identity tests.
+  [[nodiscard]] std::string replay_fingerprint() const;
+
+private:
+  struct ShardRef {
+    std::uint64_t plan_id = 0;  // 1-based
+    std::size_t shard = 0;
+  };
+
+  struct ShardRuntime {
+    std::size_t next_chunk = 0;   // chunks [0, next_chunk) are done
+    std::size_t attempts = 0;     // failed executions so far
+    std::uint64_t digest = 0;     // folded completed-chunk digests
+    bool done = false;
+    bool abandoned = false;
+  };
+
+  struct PlanRuntime {
+    TestPlan plan;
+    std::uint64_t tenant_seed = 0;
+    std::uint64_t admitted_tick = 0;
+    std::uint64_t deadline_tick = 0;  // absolute; 0 = none
+    bool cancelled = false;           // deadline passed; winding down
+    bool finished = false;
+    std::vector<ShardRuntime> shards;
+    std::size_t shards_completed = 0;
+    std::size_t shards_abandoned = 0;
+    std::size_t shards_running = 0;   // currently on a site
+    std::uint64_t chunks_completed = 0;
+    std::uint64_t chunks_retried = 0;
+    PlanResult result;  // valid once finished
+  };
+
+  struct TenantState {
+    std::size_t unfinished = 0;  // admitted - finished, for the queue bound
+    std::deque<ShardRef> ready;  // runnable now, FIFO
+  };
+
+  struct SiteRuntime {
+    bool busy = false;
+    ShardRef work{};
+    std::uint64_t remaining = 0;   // virtual ticks left on current chunk
+    std::uint64_t hang_ticks = 0;  // consecutive no-progress ticks
+    CircuitBreaker breaker;
+  };
+
+  PlanRuntime& runtime(std::uint64_t plan_id) { return plans_[plan_id - 1]; }
+  [[nodiscard]] bool past_deadline(const PlanRuntime& p) const {
+    return p.deadline_tick != 0 && tick_ > p.deadline_tick;
+  }
+
+  /// Chunk identity seed: pure function of the tenant namespace + plan
+  /// shape, never of plan id / site / attempt.
+  [[nodiscard]] std::uint64_t chunk_seed(const PlanRuntime& p,
+                                         std::size_t shard,
+                                         std::size_t chunk) const;
+
+  void advance_sites();
+  /// Cancels plans whose deadline passed this tick — independent of site
+  /// availability, so a fully quarantined fleet still honors deadlines.
+  void expire_deadlines();
+  void release_deferred();
+  void assign_sites();
+  void run_probe(std::size_t site);
+
+  /// Chunk-boundary bookkeeping after a completed execution on `site`.
+  void complete_chunk(std::size_t site, std::uint64_t digest);
+  /// A failed execution (hang abort / refusal): backoff re-queue or
+  /// abandonment of the shard, breaker update.
+  void fail_execution(std::size_t site, ShardRef ref, bool count_breaker);
+  /// Shard re-queued for later (`not_before`) execution.
+  void defer_shard(ShardRef ref, std::uint64_t not_before);
+  void abandon_shard(ShardRef ref);
+  void finish_shard(ShardRef ref);
+  /// Cancels a plan past its deadline: queued shards are abandoned now,
+  /// running shards at their next chunk boundary.
+  void cancel_plan(std::uint64_t plan_id);
+  void maybe_finalize(std::uint64_t plan_id);
+  void finalize(std::uint64_t plan_id);
+  void force_finalize_all();
+
+  /// Next ready shard across tenants (round-robin), or nullopt. Skips and
+  /// finalizes shards of cancelled plans on the way.
+  [[nodiscard]] bool pop_ready(ShardRef& out);
+
+  Config config_;
+  std::uint64_t seed_ = 0;
+  SiteFleet fleet_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t next_plan_id_ = 1;
+
+  std::vector<PlanRuntime> plans_;           // index = plan_id - 1
+  std::map<std::string, TenantState> tenants_;
+  std::vector<std::string> tenant_order_;    // submission order, round-robin
+  std::size_t tenant_cursor_ = 0;
+  /// Backoff parking lot, released in (tick, plan, shard) order.
+  std::multimap<std::uint64_t, ShardRef> deferred_;
+  /// Deadline index: (absolute deadline tick, plan id), swept each step.
+  std::multimap<std::uint64_t, std::uint64_t> deadlines_;
+  std::vector<SiteRuntime> sites_;
+  ServiceStats stats_;
+};
+
+}  // namespace mgt::service

@@ -1,0 +1,104 @@
+// Simulated tester-site fleet.
+//
+// The paper's Fig-13 argument is that TesterArray sites replicate cheaply;
+// this fleet is the software model the session scheduler runs plans
+// against. Each site executes one chunk at a time in virtual time, and its
+// failure modes come from the scheduler-level fault kinds consumed off the
+// "site" component slice of a FaultPlan:
+//
+//   kSiteHang      site stops making progress (chunk never finishes;
+//                  detected by the scheduler's hang budget)
+//   kSiteSlow      chunk cost multiplied (degraded, not broken)
+//   kSpuriousBusy  site refuses work it should accept (severity = refusal
+//                  probability, drawn from the plan's keyed RNG)
+//
+// Determinism: every fault decision is keyed on (plan seed, "site", site
+// index, virtual tick) — never on execution order — and chunk *results*
+// are pure functions of the chunk's identity tuple, never of which site
+// ran them. An empty fault plan makes every query fall through to the
+// healthy answer without consuming randomness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+
+namespace mgt::core {
+class TestSystem;
+}
+
+namespace mgt::service {
+
+class SiteFleet {
+public:
+  struct Config {
+    /// Number of simulated tester sites.
+    std::size_t sites = 8;
+    /// Chunk-cost multiplier applied at kSiteSlow severity 1.0; lower
+    /// severities interpolate (>= 1 always).
+    std::uint64_t slow_multiplier = 8;
+    /// When set, HALF_OPEN probes run a full core::TestSystem::self_test()
+    /// loopback cycle on a lazily built per-site system (the PR-3
+    /// HealthReport machinery) in addition to the fault-state checks.
+    /// Deep probes consume the site system's RNG draws, so they must only
+    /// run from the scheduler's serial sections.
+    bool deep_probe = false;
+    /// Scheduler-level chaos plan; this fleet consumes the "site" slice.
+    fault::FaultPlan faults{};
+  };
+
+  SiteFleet(Config config, std::uint64_t seed);
+  ~SiteFleet();
+  SiteFleet(const SiteFleet&) = delete;
+  SiteFleet& operator=(const SiteFleet&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return config_.sites; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// True when `site` accepts a new chunk at `tick`. A kSpuriousBusy fault
+  /// refuses with its severity as probability, drawn from the keyed fault
+  /// RNG — byte-identical across runs and thread counts.
+  [[nodiscard]] bool accepts(std::size_t site, std::uint64_t tick) const;
+
+  /// Virtual-tick cost of a chunk with healthy cost `base_cost` started on
+  /// `site` at `tick` (kSiteSlow multiplies; always >= base_cost).
+  [[nodiscard]] std::uint64_t chunk_cost(std::size_t site, std::uint64_t tick,
+                                         std::uint64_t base_cost) const;
+
+  /// True when `site` makes no progress at `tick` (kSiteHang active).
+  [[nodiscard]] bool hung(std::size_t site, std::uint64_t tick) const;
+
+  /// Probe verdict for one site at `tick`: fault-state checks (hang ->
+  /// kFailed, spurious-busy -> kFailed, slow -> kDegraded) merged, when
+  /// deep probes are configured, with the site TestSystem's own
+  /// self_test() report under a "sys." prefix. Serial sections only.
+  [[nodiscard]] fault::HealthReport probe(std::size_t site,
+                                          std::uint64_t tick);
+
+  /// Fleet-wide health at `tick`: one "site<N>" entry per site from the
+  /// fault-state checks (no deep probes — bounded cost).
+  [[nodiscard]] fault::HealthReport self_test(std::uint64_t tick) const;
+
+  /// The simulated measurement a chunk performs: `iterations` rounds of
+  /// splitmix-style mixing seeded by the chunk's identity. Pure — the
+  /// result depends only on (chunk_seed, iterations), so retries and site
+  /// reassignment cannot change a completed chunk's contribution.
+  [[nodiscard]] static std::uint64_t chunk_digest(std::uint64_t chunk_seed,
+                                                  std::uint64_t iterations);
+
+private:
+  /// Fault-state half of a probe: the per-site ComponentHealth verdict.
+  [[nodiscard]] fault::ComponentHealth site_health(std::size_t site,
+                                                   std::uint64_t tick) const;
+
+  Config config_;
+  std::uint64_t seed_ = 0;
+  fault::ComponentFaults faults_;
+  /// Lazily built deep-probe systems, one per site (null until probed).
+  std::vector<std::unique_ptr<core::TestSystem>> probe_systems_;
+};
+
+}  // namespace mgt::service

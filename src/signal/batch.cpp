@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "util/env.hpp"
+
 namespace mgt::sig {
 
 namespace {
@@ -20,8 +22,10 @@ SimdBackend env_backend() {
       parse_simd_backend(std::getenv("MGT_SIMD"));
   if (!parsed.has_value()) {
     // Misconfiguration falls back to the compiled default (always correct —
-    // backends are byte-identical) and is counted for self tests.
+    // backends are byte-identical) and is counted for self tests, both in
+    // the simd-local total and the shared util::env_rejections pool.
     g_env_rejections.fetch_add(1, std::memory_order_relaxed);
+    util::note_env_rejection("MGT_SIMD");
     return compiled_backend();
   }
   return *parsed;

@@ -1,13 +1,12 @@
 #include "signal/render_cache.hpp"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <string_view>
 
 #include "obs/obs.hpp"
 #include "signal/batch.hpp"
 #include "util/digest.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace mgt::sig {
@@ -17,26 +16,15 @@ namespace {
 constexpr std::size_t kDefaultBudgetMib = 256;
 
 std::size_t env_budget_bytes() {
-  const char* raw = std::getenv("MGT_RENDER_CACHE_MB");
-  if (raw == nullptr || *raw == '\0') {
-    return kDefaultBudgetMib << 20;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(raw, &end, 10);
-  if (end == raw || *end != '\0' || errno == ERANGE || parsed <= 0) {
-    return kDefaultBudgetMib << 20;  // malformed: keep the safe default
-  }
-  return static_cast<std::size_t>(parsed) << 20;
+  // Strict shared parsing: a malformed value keeps the safe default and is
+  // counted in util::env_rejections (bridged to "mgt.env.rejected").
+  const util::EnvValue<std::uint64_t> mib = util::env_u64(
+      "MGT_RENDER_CACHE_MB", 1, (~0ULL) >> 20);
+  return static_cast<std::size_t>(mib.value_or(kDefaultBudgetMib)) << 20;
 }
 
 bool env_enabled() {
-  const char* raw = std::getenv("MGT_RENDER_CACHE");
-  if (raw == nullptr || *raw == '\0') {
-    return true;
-  }
-  const std::string_view text{raw};
-  return !(text == "0" || text == "off");
+  return util::env_flag("MGT_RENDER_CACHE").value_or(true);
 }
 
 }  // namespace

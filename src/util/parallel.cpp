@@ -119,7 +119,10 @@ struct ThreadPool::Impl {
     }
     wake.notify_all();
     for (auto& t : threads) {
-      t.join();
+      // Shutdown is already signalled; workers exit their loop on the next
+      // wake, so this join is bounded in practice and must not time out
+      // (losing a worker mid-teardown would leak the pool's state).
+      t.join();  // mgtlint:allow(no-unbounded-wait)
     }
   }
 
@@ -131,7 +134,10 @@ struct ThreadPool::Impl {
     pending = workers;
     first_error = nullptr;
     wake.notify_all();
-    done.wait(lock, [this] { return pending == 0; });
+    // The chunk tasks are finite and exceptions are captured per worker, so
+    // completion is guaranteed; a timeout here could only hide a real bug
+    // by returning with tasks still running on the pool.
+    done.wait(lock, [this] { return pending == 0; });  // mgtlint:allow(no-unbounded-wait)
     current_task = nullptr;
     if (first_error) {
       std::exception_ptr err = first_error;
@@ -147,7 +153,9 @@ struct ThreadPool::Impl {
       std::size_t n = 0;
       {
         std::unique_lock<std::mutex> lock(mutex);
-        wake.wait(lock, [&] {
+        // Idle workers are *meant* to park indefinitely between batches;
+        // shutdown wakes them, so the wait cannot outlive the pool.
+        wake.wait(lock, [&] {  // mgtlint:allow(no-unbounded-wait)
           return shutdown || generation != seen_generation;
         });
         if (shutdown) {

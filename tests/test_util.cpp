@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 
 #include "util/bitvec.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -510,6 +512,88 @@ TEST(Error, CheckMacroThrowsWithLocation) {
 
 TEST(Error, CheckPassesSilently) {
   EXPECT_NO_THROW(MGT_CHECK(2 + 2 == 4));
+}
+
+// ------------------------------------------------------------------ env --
+
+TEST(Env, U64AcceptsOnlyWholeInRangeIntegers) {
+  EXPECT_EQ(util::parse_env_u64("64"), 64u);
+  EXPECT_EQ(util::parse_env_u64("1"), 1u);
+  EXPECT_EQ(util::parse_env_u64("18446744073709551615", 1, ~0ULL), ~0ULL);
+
+  // Unset is not a rejection: the caller just keeps its default.
+  EXPECT_EQ(util::parse_env_u64(nullptr), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64(""), std::nullopt);
+
+  // Malformed values are rejected whole — never partially parsed.
+  EXPECT_EQ(util::parse_env_u64("64x"), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64(" 64"), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64("-3"), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64("0x40"), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64("6.4"), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64("lots"), std::nullopt);
+  // Overflow and range violations reject rather than saturate.
+  EXPECT_EQ(util::parse_env_u64("18446744073709551616"), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64("0", 1), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64("9", 1, 8), std::nullopt);
+  EXPECT_EQ(util::parse_env_u64("0", 0, 8), 0u);
+}
+
+TEST(Env, FlagAcceptsOnlyCanonicalSpellings) {
+  EXPECT_EQ(util::parse_env_flag("0"), false);
+  EXPECT_EQ(util::parse_env_flag("off"), false);
+  EXPECT_EQ(util::parse_env_flag("false"), false);
+  EXPECT_EQ(util::parse_env_flag("1"), true);
+  EXPECT_EQ(util::parse_env_flag("on"), true);
+  EXPECT_EQ(util::parse_env_flag("true"), true);
+
+  EXPECT_EQ(util::parse_env_flag(nullptr), std::nullopt);
+  EXPECT_EQ(util::parse_env_flag(""), std::nullopt);
+  EXPECT_EQ(util::parse_env_flag("yes"), std::nullopt);
+  EXPECT_EQ(util::parse_env_flag("OFF"), std::nullopt);
+  EXPECT_EQ(util::parse_env_flag("2"), std::nullopt);
+}
+
+TEST(Env, RejectionsAreCountedAndNamed) {
+  util::reset_env_rejections_for_test();
+  EXPECT_EQ(util::env_rejections(), 0u);
+  EXPECT_EQ(util::env_rejected_names(), "");
+
+  setenv("MGT_TEST_KNOB_A", "garbage", 1);
+  setenv("MGT_TEST_KNOB_B", "definitely", 1);
+  setenv("MGT_TEST_KNOB_C", "32", 1);
+
+  const util::EnvValue<std::uint64_t> a = util::env_u64("MGT_TEST_KNOB_A");
+  const util::EnvValue<bool> b = util::env_flag("MGT_TEST_KNOB_B");
+  const util::EnvValue<std::uint64_t> c = util::env_u64("MGT_TEST_KNOB_C");
+  const util::EnvValue<std::uint64_t> unset =
+      util::env_u64("MGT_TEST_KNOB_UNSET");
+
+  EXPECT_TRUE(a.rejected());
+  EXPECT_EQ(a.value_or(7), 7u) << "rejection keeps the caller's default";
+  EXPECT_TRUE(b.rejected());
+  EXPECT_TRUE(c.parsed());
+  EXPECT_EQ(c.value_or(7), 32u);
+  EXPECT_EQ(unset.status, util::EnvParseStatus::kUnset);
+
+  EXPECT_EQ(util::env_rejections(), 2u);
+  EXPECT_EQ(util::env_rejected_names(), "MGT_TEST_KNOB_A,MGT_TEST_KNOB_B");
+
+  // Re-rejecting the same knob counts but does not duplicate the name.
+  util::env_u64("MGT_TEST_KNOB_A");
+  EXPECT_EQ(util::env_rejections(), 3u);
+  EXPECT_EQ(util::env_rejected_names(), "MGT_TEST_KNOB_A,MGT_TEST_KNOB_B");
+
+  // Domain-specific parsers feed the same totals.
+  util::note_env_rejection("MGT_TEST_KNOB_D");
+  EXPECT_EQ(util::env_rejections(), 4u);
+  EXPECT_EQ(util::env_rejected_names(),
+            "MGT_TEST_KNOB_A,MGT_TEST_KNOB_B,MGT_TEST_KNOB_D");
+
+  unsetenv("MGT_TEST_KNOB_A");
+  unsetenv("MGT_TEST_KNOB_B");
+  unsetenv("MGT_TEST_KNOB_C");
+  util::reset_env_rejections_for_test();
 }
 
 }  // namespace

@@ -49,6 +49,7 @@ public:
       check_units(i);
       check_contracts(i);
       check_intrinsics(i);
+      check_unbounded_wait(i);
       track_classes(i);
     }
     return std::move(diags_);
@@ -155,6 +156,32 @@ private:
                  "' outside src/signal/batch_kernels.*; call the "
                  "dispatching kernels in batch_kernels.hpp instead");
     }
+  }
+
+  // --- unbounded blocking waits ---
+
+  /// Blocking member calls with no deadline in src/: `cv.wait(...)`,
+  /// `thread.join()`, `future.wait()`, `semaphore.acquire()`. The session
+  /// layer's rule is that every wait is bounded — either by a virtual-tick
+  /// budget at the scheduler level or by a *_for/*_until variant at the
+  /// primitive level — so one hung site or worker can never hang the
+  /// process. Intentionally indefinite waits (a pool's idle workers parked
+  /// on a condition variable) carry a mgtlint:allow with a justification.
+  void check_unbounded_wait(std::size_t i) {
+    const Token& t = tok(i);
+    if (t.kind != TokKind::kIdent || !in_src(kind_)) {
+      return;
+    }
+    if (!member_access_before(i) || !next_is(i, "(")) {
+      return;
+    }
+    if (t.text != "wait" && t.text != "join" && t.text != "acquire") {
+      return;
+    }
+    report(i, rules::kUnboundedWait,
+           "blocking '" + std::string(t.text) +
+               "()' has no deadline; bound it (wait_for/wait_until, a tick "
+               "budget) or justify with mgtlint:allow(no-unbounded-wait)");
   }
 
   // --- wall-clock into metrics ---
@@ -738,6 +765,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        false},
       {rules::kIntrinsics,
        "vendor intrinsics outside src/signal/batch_kernels.*", false, false},
+      {rules::kUnboundedWait,
+       "blocking wait/join without a deadline in src/", false, false},
       {rules::kParallelMutation,
        "lambda under parallel_for mutates shared state (possibly via a "
        "function in another file)",

@@ -640,9 +640,75 @@ TEST(MgtlintIntrinsics, PlainIdentifiersDoNotFire) {
                      "no-intrinsics-outside-kernels"));
 }
 
+// -------------------------------------------------------- unbounded wait --
+
+TEST(MgtlintUnboundedWait, CondVarWaitBad) {
+  EXPECT_TRUE(fires("src/util/pool.cpp", R"(
+    void block(std::condition_variable& cv, std::unique_lock<std::mutex>& l) {
+      cv.wait(l);
+    }
+  )",
+                    "no-unbounded-wait"));
+}
+
+TEST(MgtlintUnboundedWait, ThreadJoinAndSemaphoreAcquireBad) {
+  EXPECT_TRUE(fires("src/service/scheduler.cpp", R"(
+    void stop(std::thread& t) { t.join(); }
+  )",
+                    "no-unbounded-wait"));
+  EXPECT_TRUE(fires("src/service/scheduler.cpp", R"(
+    void take(std::counting_semaphore<4>& s) { s.acquire(); }
+  )",
+                    "no-unbounded-wait"));
+}
+
+TEST(MgtlintUnboundedWait, ArrowAccessBad) {
+  EXPECT_TRUE(fires("src/util/pool.cpp", R"(
+    void block(std::condition_variable* cv,
+               std::unique_lock<std::mutex>& l) { cv->wait(l); }
+  )",
+                    "no-unbounded-wait"));
+}
+
+TEST(MgtlintUnboundedWait, DeadlineVariantsFine) {
+  EXPECT_FALSE(fires("src/util/pool.cpp", R"(
+    bool block(std::condition_variable& cv, std::unique_lock<std::mutex>& l,
+               std::chrono::milliseconds d) {
+      return cv.wait_for(l, d) == std::cv_status::no_timeout;
+    }
+    bool take(std::counting_semaphore<4>& s, std::chrono::milliseconds d) {
+      return s.try_acquire_for(d);
+    }
+  )",
+                     "no-unbounded-wait"));
+}
+
+TEST(MgtlintUnboundedWait, FreeFunctionsAndOtherTreesFine) {
+  // A free function named wait() is not a blocking primitive call, and the
+  // rule only polices src/ (tests and benches may block indefinitely).
+  EXPECT_FALSE(fires("src/core/sim.cpp", R"(
+    void wait(int ticks);
+    void run() { wait(4); }
+  )",
+                     "no-unbounded-wait"));
+  EXPECT_FALSE(fires("tests/test_pool.cpp", R"(
+    void stop(std::thread& t) { t.join(); }
+  )",
+                     "no-unbounded-wait"));
+}
+
+TEST(MgtlintUnboundedWait, AllowlistSuppresses) {
+  EXPECT_FALSE(fires("src/util/pool.cpp", R"(
+    void stop(std::thread& t) {
+      t.join();  // mgtlint:allow(no-unbounded-wait)
+    }
+  )",
+                     "no-unbounded-wait"));
+}
+
 TEST(MgtlintMisc, AllRulesListsEveryRuleOnce) {
   const auto& rules = mgtlint::all_rules();
-  EXPECT_EQ(rules.size(), 18u);
+  EXPECT_EQ(rules.size(), 19u);
   for (const auto rule : rules) {
     EXPECT_EQ(std::count(rules.begin(), rules.end(), rule), 1)
         << std::string(rule);
