@@ -7,6 +7,7 @@
 #include "obs/obs.hpp"
 #include "signal/batch_kernels.hpp"
 #include "signal/render_cache.hpp"
+#include "telemetry/hub.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -271,6 +272,21 @@ EyeDiagram accumulate_eye(const sig::EdgeStream& stream,
   // Serial point after the ordered merge: let the render cache advance its
   // LRU clock and evict deterministically.
   sig::RenderCache::instance().end_pass();
+  telemetry::Hub& hub = telemetry::Hub::instance();
+  if (hub.enabled()) {
+    // Post-merge tail: these are properties of the merged eye, identical
+    // at every worker count, so the telemetry stream is too.
+    telemetry::MetricSnapshot snap;
+    snap.entries.push_back(
+        telemetry::MetricEntry::counter("eye.samples", out.total_samples()));
+    snap.entries.push_back(telemetry::MetricEntry::counter(
+        "eye.crossings", out.crossings().size()));
+    // The unit survives in the metric name: the wire codec is unit-erased
+    // by design.
+    snap.entries.push_back(telemetry::MetricEntry::gauge(  // mgtlint:allow(unit-flow-raw-double)
+        "eye.height_mv", out.eye_height().mv()));
+    hub.publish_metrics(out.total_samples(), std::move(snap));
+  }
   return out;
 }
 

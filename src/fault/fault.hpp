@@ -40,6 +40,9 @@ enum class FaultKind {
   kSiteHang,          // tester site stops making progress (chunk never ends)
   kSiteSlow,          // tester site degraded (chunk cost multiplied)
   kSpuriousBusy,      // site rejects work it should accept (severity = prob.)
+  kTelemetryCorruption,  // telemetry channel flips packet bits
+  kTelemetryTruncation,  // telemetry channel cuts packets short
+  kTelemetryReorder,     // telemetry channel swaps adjacent packets
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);

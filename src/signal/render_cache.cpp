@@ -18,9 +18,9 @@ constexpr std::size_t kDefaultBudgetMib = 256;
 std::size_t env_budget_bytes() {
   // Strict shared parsing: a malformed value keeps the safe default and is
   // counted in util::env_rejections (bridged to "mgt.env.rejected").
-  const util::EnvValue<std::uint64_t> mib = util::env_u64(
-      "MGT_RENDER_CACHE_MB", 1, (~0ULL) >> 20);
-  return static_cast<std::size_t>(mib.value_or(kDefaultBudgetMib)) << 20;
+  const util::EnvValue<std::uint64_t> bytes =
+      util::env_size_mb("MGT_RENDER_CACHE_MB");
+  return static_cast<std::size_t>(bytes.value_or(kDefaultBudgetMib << 20));
 }
 
 bool env_enabled() {

@@ -1,0 +1,67 @@
+#include "telemetry/channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mgt::telemetry {
+
+void FaultyChannel::damage(std::vector<std::uint8_t>& packet,
+                           std::uint64_t index) {
+  using fault::FaultKind;
+  if (faults_.active(FaultKind::kTelemetryTruncation, index)) {
+    Rng rng = faults_.rng(index * 3 + 1);
+    const double severity =
+        faults_.severity(FaultKind::kTelemetryTruncation, index);
+    // Severity scales how much of the packet survives: 1.0 can cut it to
+    // nothing, small severities nibble at the tail.
+    const auto keep_min = static_cast<std::size_t>(
+        static_cast<double>(packet.size()) * (1.0 - severity));
+    const std::size_t keep =
+        keep_min + rng.below(packet.size() - keep_min + 1);
+    if (keep < packet.size()) {
+      packet.resize(keep);
+      ++stats_.truncated;
+    }
+  }
+  if (!packet.empty() &&
+      faults_.active(FaultKind::kTelemetryCorruption, index)) {
+    Rng rng = faults_.rng(index * 3 + 2);
+    const double severity =
+        faults_.severity(FaultKind::kTelemetryCorruption, index);
+    const auto flips = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(severity * 8.0));
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const std::uint64_t bit = rng.below(packet.size() * 8);
+      packet[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    ++stats_.corrupted;
+  }
+}
+
+void FaultyChannel::send(std::vector<std::uint8_t> packet, const Sink& sink) {
+  const std::uint64_t index = index_++;
+  ++stats_.packets;
+  damage(packet, index);
+  if (held_) {
+    // A held packet leaves behind its successor: the swap completes here.
+    sink(std::move(packet));
+    sink(std::move(*held_));
+    held_.reset();
+    return;
+  }
+  if (faults_.active(fault::FaultKind::kTelemetryReorder, index)) {
+    held_ = std::move(packet);
+    ++stats_.reordered;
+    return;
+  }
+  sink(std::move(packet));
+}
+
+void FaultyChannel::flush(const Sink& sink) {
+  if (held_) {
+    sink(std::move(*held_));
+    held_.reset();
+  }
+}
+
+}  // namespace mgt::telemetry

@@ -1,0 +1,61 @@
+// Faulty telemetry transport: deterministic adversarial packet damage.
+//
+// The decoder's hardening claims are only worth something if the damage it
+// survives is reproducible. FaultyChannel sits between an encoder's packet
+// sink and a decoder's feed and applies the three telemetry fault kinds
+// from a ComponentFaults slice (component "telemetry"), keyed on the
+// per-channel packet index as the fault tick:
+//
+//   kTelemetryCorruption  flip bits (count scales with severity)
+//   kTelemetryTruncation  cut the packet short at a seeded offset
+//   kTelemetryReorder     hold a packet and emit it after its successor
+//
+// All randomness comes from faults.rng(packet_index), so a given plan
+// damages the same packets the same way at every MGT_THREADS setting. An
+// empty ComponentFaults is a byte-identical pass-through (contract rule 1
+// in fault.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace mgt::telemetry {
+
+/// Applies scheduled telemetry faults to a packet stream.
+class FaultyChannel {
+public:
+  using Sink = std::function<void(std::vector<std::uint8_t>&&)>;
+
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t reordered = 0;
+  };
+
+  explicit FaultyChannel(fault::ComponentFaults faults)
+      : faults_(std::move(faults)) {}
+
+  /// Sends one packet through the channel; damaged/held/forwarded packets
+  /// reach `sink` in channel order.
+  void send(std::vector<std::uint8_t> packet, const Sink& sink);
+
+  /// Releases any packet still held for reordering.
+  void flush(const Sink& sink);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+  void damage(std::vector<std::uint8_t>& packet, std::uint64_t index);
+
+  fault::ComponentFaults faults_;
+  std::optional<std::vector<std::uint8_t>> held_;
+  std::uint64_t index_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mgt::telemetry

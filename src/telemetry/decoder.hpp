@@ -1,0 +1,122 @@
+// Hardened telemetry decoder: total over arbitrary bytes.
+//
+// The decoder is the trust boundary of the telemetry path: everything it
+// reads arrived over a channel that may corrupt, truncate, reorder or
+// flood. Its contract, enforced by the seeded fuzz corpus in
+// tests/test_telemetry.cpp and the telemetry-fuzz CI job (ASan + UBSan):
+//
+//  1. Totality. feed() accepts any byte sequence, in any fragmentation,
+//     and never crashes, throws, reads out of bounds, or invokes UB.
+//  2. Typed rejection. Every magic-anchored packet candidate is
+//     adjudicated exactly once: decoded, or rejected with one typed
+//     DecodeError. The identity received() == decoded + rejected holds at
+//     every instant. Bytes that never anchor (corrupted magic, garbage
+//     between packets) are counted in bytes_skipped/resyncs instead —
+//     nothing is ever dropped silently.
+//  3. Resynchronization. After a rejection the decoder rescans for the
+//     magic from the next byte, so one corrupted packet never poisons the
+//     stream: intact packets on either side still decode.
+//  4. Bounded allocation. The reassembly buffer is reserved once at
+//     construction (buffer_cap_bytes) and never grows past it; a
+//     payload-length field larger than max_payload_bytes is rejected
+//     kOversized before a single payload byte is trusted. Peak usage is
+//     observable via buffered_high_water().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/wire.hpp"
+
+namespace mgt::telemetry {
+
+/// Why a packet candidate was rejected. Wire-hostile inputs map onto these
+/// exhaustively; each increments its own counter in DecoderStats::errors.
+enum class DecodeError : std::uint8_t {
+  kHeaderCrc = 0,  // header CRC-8 mismatch (corrupted header)
+  kBadVersion,     // header intact but version unsupported (skew)
+  kBadType,        // header intact but unknown packet type
+  kOversized,      // payload-length field beyond max_payload_bytes
+  kTruncated,      // stream ended inside a packet (flush with a partial)
+  kPayloadCrc,     // payload CRC-32 mismatch (corrupted payload)
+  kBadPayload,     // CRCs pass but the payload body is inconsistent
+};
+inline constexpr std::size_t kDecodeErrorCount = 7;
+
+[[nodiscard]] std::string_view to_string(DecodeError error);
+
+struct DecoderStats {
+  std::uint64_t bytes_fed = 0;
+  /// Bytes discarded while hunting for the magic (never adjudicated as a
+  /// packet candidate; corrupted-magic packets land here).
+  std::uint64_t bytes_skipped = 0;
+  /// Times the decoder abandoned its position and rescanned for the magic.
+  std::uint64_t resyncs = 0;
+
+  std::uint64_t decoded = 0;
+  std::uint64_t rejected = 0;
+  std::array<std::uint64_t, kDecodeErrorCount> errors{};
+
+  /// Adjudicated packet candidates. Maintained independently of
+  /// decoded/rejected so tests verify the identity rather than assume it.
+  std::uint64_t received = 0;
+
+  [[nodiscard]] bool accounting_exact() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t e : errors) {
+      total += e;
+    }
+    return received == decoded + rejected && rejected == total;
+  }
+};
+
+class Decoder {
+public:
+  struct Config {
+    /// Ceiling on the payload-length field; larger claims are kOversized.
+    std::size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+    /// Hard cap on the reassembly buffer, reserved at construction. Must
+    /// leave room for one maximal packet plus scan slack.
+    std::size_t buffer_cap_bytes = 4 * kDefaultMaxPayloadBytes;
+  };
+
+  /// Called once per decoded packet, in stream order.
+  using Handler = std::function<void(const PacketHeader&, const Record&)>;
+
+  Decoder() : Decoder(Config{}) {}
+  explicit Decoder(Config config, Handler handler = nullptr);
+
+  /// Consumes arbitrary bytes (any fragmentation). Complete packets are
+  /// adjudicated immediately; a trailing partial packet waits for more.
+  void feed(const std::uint8_t* data, std::size_t n);
+  void feed(const std::vector<std::uint8_t>& bytes);
+
+  /// End of stream: adjudicates any pending partial packet (kTruncated)
+  /// and drains the buffer. The decoder is reusable afterwards.
+  void flush();
+
+  [[nodiscard]] const DecoderStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t buffered_high_water() const {
+    return high_water_;
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+private:
+  /// Adjudicates buffered bytes from the front. With `at_end` the pending
+  /// tail is resolved too (kTruncated / skipped) instead of waiting.
+  void process(bool at_end);
+  void reject(DecodeError error);
+
+  Config config_;
+  Handler handler_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t high_water_ = 0;
+  DecoderStats stats_;
+  Record scratch_;
+};
+
+}  // namespace mgt::telemetry

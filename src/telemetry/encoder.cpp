@@ -1,0 +1,70 @@
+#include "telemetry/encoder.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace mgt::telemetry {
+
+StreamEncoder::StreamEncoder(Config config) : config_(std::move(config)) {
+  MGT_CHECK(config_.capacity_records > 0,
+            "telemetry stream ring needs at least one slot");
+}
+
+std::size_t StreamEncoder::record_cost(const Record& record) {
+  std::size_t cost = sizeof(Record);
+  if (const auto* wf = std::get_if<WaveformChunk>(&record.body)) {
+    cost += wf->samples.size() * sizeof(double);
+  } else if (const auto* ms = std::get_if<MetricSnapshot>(&record.body)) {
+    for (const MetricEntry& e : ms->entries) {
+      cost += sizeof(MetricEntry) + e.name.size();
+    }
+  } else {
+    cost += std::get<PlanSummary>(record.body).tenant.size();
+  }
+  return cost;
+}
+
+void StreamEncoder::offer(Record record) {
+  ++stats_.offered;
+  obs::add_counter("telemetry." + config_.name + ".offered");
+  if (ring_.size() == config_.capacity_records) {
+    // Backpressure: decimate oldest-first, and say so. The freshest
+    // records survive; the shed count keeps offered == encoded + shed +
+    // pending exact.
+    stats_.pending_bytes -= record_cost(ring_.front());
+    ring_.pop_front();
+    --stats_.pending;
+    ++stats_.shed;
+    obs::add_counter("telemetry." + config_.name + ".shed");
+  }
+  stats_.pending_bytes += record_cost(record);
+  stats_.pending_bytes_high_water =
+      std::max(stats_.pending_bytes_high_water, stats_.pending_bytes);
+  ring_.push_back(std::move(record));
+  ++stats_.pending;
+}
+
+std::size_t StreamEncoder::drain(
+    const std::function<void(std::vector<std::uint8_t>&&)>& sink) {
+  std::size_t emitted = 0;
+  while (!ring_.empty()) {
+    const Record& record = ring_.front();
+    std::vector<std::uint8_t> packet =
+        encode_packet(record, config_.stream_id, sequence_);
+    ++sequence_;
+    stats_.pending_bytes -= record_cost(record);
+    ring_.pop_front();
+    --stats_.pending;
+    ++stats_.encoded;
+    ++emitted;
+    obs::add_counter("telemetry." + config_.name + ".encoded");
+    if (sink) {
+      sink(std::move(packet));
+    }
+  }
+  return emitted;
+}
+
+}  // namespace mgt::telemetry

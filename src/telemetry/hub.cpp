@@ -1,0 +1,149 @@
+#include "telemetry/hub.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/env.hpp"
+
+namespace mgt::telemetry {
+
+namespace {
+
+constexpr std::uint64_t kDefaultBufBytes = 4ull << 20;
+
+struct RingPlan {
+  std::size_t waveform_records;
+  std::size_t metrics_records;
+  std::size_t plans_records;
+};
+
+/// Splits the MGT_TELEMETRY_BUF_MB budget into per-stream record capacities
+/// using typical record footprints (a 512-sample chunk ≈ 4 KB, a chunked
+/// obs snapshot ≈ 8 KB, a plan summary ≈ 256 B). The split is a sizing
+/// heuristic; the *bound* itself is exact — each ring sheds oldest-first
+/// past its capacity, so pending memory is constant regardless of offered
+/// volume.
+RingPlan ring_plan() {
+  const std::uint64_t budget =
+      util::env_size_mb("MGT_TELEMETRY_BUF_MB").value_or(kDefaultBufBytes);
+  RingPlan plan;
+  plan.waveform_records =
+      std::max<std::size_t>(16, static_cast<std::size_t>(budget / 2 / 4096));
+  plan.metrics_records =
+      std::max<std::size_t>(16, static_cast<std::size_t>(budget / 4 / 8192));
+  plan.plans_records =
+      std::max<std::size_t>(16, static_cast<std::size_t>(budget / 4 / 256));
+  return plan;
+}
+
+std::size_t env_decimation() {
+  return static_cast<std::size_t>(
+      util::env_u64("MGT_TELEMETRY_DECIM", 1, 1u << 20).value_or(64));
+}
+
+}  // namespace
+
+Hub& Hub::instance() {
+  static Hub hub;
+  return hub;
+}
+
+Hub::Hub()
+    : env_enabled_(util::env_flag("MGT_TELEMETRY").value_or(false)),
+      decimation_(env_decimation()),
+      waveform_({kWaveformStreamId, "waveform", ring_plan().waveform_records}),
+      metrics_({kMetricsStreamId, "metrics", ring_plan().metrics_records}),
+      plans_({kPlansStreamId, "plans", ring_plan().plans_records}) {}
+
+void Hub::publish_waveform(std::uint64_t tick, WaveformChunk chunk) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  waveform_.offer(Record{tick, std::move(chunk)});
+}
+
+void Hub::publish_metrics(std::uint64_t tick, MetricSnapshot snapshot) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_.offer(Record{tick, std::move(snapshot)});
+}
+
+void Hub::publish_plan(std::uint64_t tick, PlanSummary summary) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.offer(Record{tick, std::move(summary)});
+}
+
+void Hub::publish_obs_snapshot(std::uint64_t tick) {
+  if (!enabled()) {
+    return;
+  }
+  // counter_values()/gauge_values() are name-sorted and deterministic, so
+  // the chunking (and therefore the byte stream) is too.
+  MetricSnapshot snapshot;
+  auto flush_full = [&] {
+    if (snapshot.entries.size() >= kMaxSnapshotEntries) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      metrics_.offer(Record{tick, std::move(snapshot)});
+      snapshot = MetricSnapshot{};
+    }
+  };
+  for (const auto& [name, value] : obs::registry().counter_values()) {
+    snapshot.entries.push_back(MetricEntry::counter(name, value));
+    flush_full();
+  }
+  for (const auto& [name, value] : obs::registry().gauge_values()) {
+    snapshot.entries.push_back(MetricEntry::gauge(name, value));
+    flush_full();
+  }
+  if (!snapshot.entries.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.offer(Record{tick, std::move(snapshot)});
+  }
+}
+
+std::size_t Hub::drain(
+    const std::function<void(std::vector<std::uint8_t>&&)>& sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t emitted = 0;
+  emitted += waveform_.drain(sink);
+  emitted += metrics_.drain(sink);
+  emitted += plans_.drain(sink);
+  return emitted;
+}
+
+std::vector<std::vector<std::uint8_t>> Hub::drain_packets() {
+  std::vector<std::vector<std::uint8_t>> packets;
+  drain([&](std::vector<std::uint8_t>&& p) { packets.push_back(std::move(p)); });
+  return packets;
+}
+
+Hub::Stats Hub::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{waveform_.stats(), metrics_.stats(), plans_.stats()};
+}
+
+void Hub::reset_for_test() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const RingPlan plan = ring_plan();
+  waveform_ = StreamEncoder({kWaveformStreamId, "waveform", plan.waveform_records});
+  metrics_ = StreamEncoder({kMetricsStreamId, "metrics", plan.metrics_records});
+  plans_ = StreamEncoder({kPlansStreamId, "plans", plan.plans_records});
+}
+
+ScopedTelemetry::ScopedTelemetry(bool on)
+    : previous_(Hub::instance().enabled_override()) {
+  Hub::instance().set_enabled_override(on ? 1 : 0);
+}
+
+ScopedTelemetry::~ScopedTelemetry() {
+  Hub::instance().set_enabled_override(previous_);
+}
+
+}  // namespace mgt::telemetry

@@ -1,0 +1,388 @@
+#include "telemetry/wire.hpp"
+
+#include <array>
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace mgt::telemetry {
+
+std::string_view to_string(PacketType type) {
+  switch (type) {
+    case PacketType::kWaveformChunk:
+      return "waveform-chunk";
+    case PacketType::kMetricSnapshot:
+      return "metric-snapshot";
+    case PacketType::kPlanSummary:
+      return "plan-summary";
+  }
+  return "unknown";
+}
+
+bool valid_type(std::uint8_t raw) {
+  return raw == static_cast<std::uint8_t>(PacketType::kWaveformChunk) ||
+         raw == static_cast<std::uint8_t>(PacketType::kMetricSnapshot) ||
+         raw == static_cast<std::uint8_t>(PacketType::kPlanSummary);
+}
+
+// ------------------------------------------------------------- byte layer --
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int byte = 0; byte < 4; ++byte) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * byte)) & 0xFFu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * byte)) & 0xFFu));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int byte = 3; byte >= 0; --byte) {
+    v = (v << 8) | p[byte];
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int byte = 7; byte >= 0; --byte) {
+    v = (v << 8) | p[byte];
+  }
+  return v;
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  if (!take(2)) {
+    return 0;
+  }
+  const std::uint16_t v = get_u16(data_ + pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!take(4)) {
+    return 0;
+  }
+  const std::uint32_t v = get_u32(data_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  if (!take(8)) {
+    return 0;
+  }
+  const std::uint64_t v = get_u64(data_ + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+bool ByteReader::bytes(std::size_t n, std::string& out) {
+  out.clear();
+  if (!take(n)) {
+    return false;
+  }
+  out.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+// ------------------------------------------------------------------- CRCs --
+
+std::uint8_t crc8(const std::uint8_t* data, std::size_t n) {
+  std::uint8_t crc = 0x00;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80u) != 0
+                ? static_cast<std::uint8_t>((crc << 1) ^ 0x07u)
+                : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> kTable = make_crc32_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------- records --
+
+MetricEntry MetricEntry::counter(std::string name, std::uint64_t value) {
+  MetricEntry e;
+  e.kind = kCounter;
+  e.name = std::move(name);
+  e.bits = value;
+  return e;
+}
+
+MetricEntry MetricEntry::gauge(std::string name, double value) {
+  MetricEntry e;
+  e.kind = kGauge;
+  e.name = std::move(name);
+  e.bits = std::bit_cast<std::uint64_t>(value);
+  return e;
+}
+
+double MetricEntry::gauge_value() const { return std::bit_cast<double>(bits); }
+
+PacketType Record::type() const {
+  if (std::holds_alternative<WaveformChunk>(body)) {
+    return PacketType::kWaveformChunk;
+  }
+  if (std::holds_alternative<MetricSnapshot>(body)) {
+    return PacketType::kMetricSnapshot;
+  }
+  return PacketType::kPlanSummary;
+}
+
+// ------------------------------------------------------------------ codec --
+
+namespace {
+
+void encode_waveform(const WaveformChunk& wf, std::vector<std::uint8_t>& out) {
+  put_u16(out, wf.channel);
+  put_u32(out, wf.decimation);
+  put_f64(out, wf.t0_ps);
+  put_f64(out, wf.dt_ps);
+  put_u32(out, static_cast<std::uint32_t>(wf.samples.size()));
+  for (const double s : wf.samples) {
+    put_f64(out, s);
+  }
+}
+
+bool decode_waveform(ByteReader& in, WaveformChunk& wf) {
+  wf.channel = in.u16();
+  wf.decimation = in.u32();
+  wf.t0_ps = in.f64();
+  wf.dt_ps = in.f64();
+  const std::uint32_t count = in.u32();
+  if (!in.ok() || wf.decimation == 0 ||
+      static_cast<std::size_t>(count) * 8 != in.remaining()) {
+    return false;
+  }
+  wf.samples.clear();
+  wf.samples.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    wf.samples.push_back(in.f64());
+  }
+  return in.ok();
+}
+
+void encode_metrics(const MetricSnapshot& ms, std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(ms.entries.size()));
+  for (const MetricEntry& e : ms.entries) {
+    put_u8(out, e.kind);
+    put_u16(out, static_cast<std::uint16_t>(e.name.size()));
+    for (const char c : e.name) {
+      out.push_back(static_cast<std::uint8_t>(c));
+    }
+    put_u64(out, e.bits);
+  }
+}
+
+bool decode_metrics(ByteReader& in, MetricSnapshot& ms) {
+  const std::uint32_t count = in.u32();
+  if (!in.ok()) {
+    return false;
+  }
+  // Each entry is at least 11 bytes; an absurd count fails fast instead of
+  // reserving a hostile amount of memory.
+  if (static_cast<std::size_t>(count) * 11 > in.remaining()) {
+    return false;
+  }
+  ms.entries.clear();
+  ms.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MetricEntry e;
+    e.kind = in.u8();
+    const std::uint16_t name_len = in.u16();
+    if (!in.bytes(name_len, e.name)) {
+      return false;
+    }
+    e.bits = in.u64();
+    if (!in.ok() ||
+        (e.kind != MetricEntry::kCounter && e.kind != MetricEntry::kGauge)) {
+      return false;
+    }
+    ms.entries.push_back(std::move(e));
+  }
+  return in.ok() && in.remaining() == 0;
+}
+
+void encode_plan(const PlanSummary& ps, std::vector<std::uint8_t>& out) {
+  put_u64(out, ps.plan_id);
+  put_u8(out, ps.kind);
+  put_u8(out, ps.outcome);
+  put_u16(out, static_cast<std::uint16_t>(ps.tenant.size()));
+  for (const char c : ps.tenant) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  put_u32(out, ps.shards);
+  put_u32(out, ps.shards_completed);
+  put_u32(out, ps.shards_abandoned);
+  put_u64(out, ps.chunks_completed);
+  put_u64(out, ps.chunks_retried);
+  put_u64(out, ps.chunks_abandoned);
+  put_u64(out, ps.admitted_tick);
+  put_u64(out, ps.finished_tick);
+  put_u8(out, ps.deadline_exceeded);
+  put_u64(out, ps.digest);
+}
+
+bool decode_plan(ByteReader& in, PlanSummary& ps) {
+  ps.plan_id = in.u64();
+  ps.kind = in.u8();
+  ps.outcome = in.u8();
+  const std::uint16_t tenant_len = in.u16();
+  if (!in.bytes(tenant_len, ps.tenant)) {
+    return false;
+  }
+  ps.shards = in.u32();
+  ps.shards_completed = in.u32();
+  ps.shards_abandoned = in.u32();
+  ps.chunks_completed = in.u64();
+  ps.chunks_retried = in.u64();
+  ps.chunks_abandoned = in.u64();
+  ps.admitted_tick = in.u64();
+  ps.finished_tick = in.u64();
+  ps.deadline_exceeded = in.u8();
+  ps.digest = in.u64();
+  return in.ok() && in.remaining() == 0 && ps.deadline_exceeded <= 1;
+}
+
+}  // namespace
+
+void encode_payload(const Record& record, std::vector<std::uint8_t>& out) {
+  if (const auto* wf = std::get_if<WaveformChunk>(&record.body)) {
+    encode_waveform(*wf, out);
+  } else if (const auto* ms = std::get_if<MetricSnapshot>(&record.body)) {
+    encode_metrics(*ms, out);
+  } else {
+    encode_plan(std::get<PlanSummary>(record.body), out);
+  }
+}
+
+bool decode_payload(PacketType type, const std::uint8_t* data,
+                    std::size_t size, Record& out) {
+  ByteReader in(data, size);
+  switch (type) {
+    case PacketType::kWaveformChunk: {
+      WaveformChunk wf;
+      if (!decode_waveform(in, wf)) {
+        return false;
+      }
+      out.body = std::move(wf);
+      return true;
+    }
+    case PacketType::kMetricSnapshot: {
+      MetricSnapshot ms;
+      if (!decode_metrics(in, ms)) {
+        return false;
+      }
+      out.body = std::move(ms);
+      return true;
+    }
+    case PacketType::kPlanSummary: {
+      PlanSummary ps;
+      if (!decode_plan(in, ps)) {
+        return false;
+      }
+      out.body = std::move(ps);
+      return true;
+    }
+  }
+  return false;
+}
+
+void encode_packet(const Record& record, std::uint16_t stream_id,
+                   std::uint32_t sequence, std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  encode_payload(record, payload);
+  MGT_CHECK(payload.size() <= kDefaultMaxPayloadBytes,
+            "telemetry payload exceeds the wire-format ceiling; chunk the "
+            "record before encoding");
+
+  const std::size_t header_at = out.size();
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u8(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(record.type()));
+  put_u16(out, stream_id);
+  put_u32(out, sequence);
+  put_u64(out, record.tick);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u8(out, crc8(out.data() + header_at, kHeaderBytes - 1));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, crc32(payload.data(), payload.size()));
+}
+
+std::vector<std::uint8_t> encode_packet(const Record& record,
+                                        std::uint16_t stream_id,
+                                        std::uint32_t sequence) {
+  std::vector<std::uint8_t> out;
+  encode_packet(record, stream_id, sequence, out);
+  return out;
+}
+
+}  // namespace mgt::telemetry

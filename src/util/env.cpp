@@ -1,5 +1,6 @@
 #include "util/env.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <mutex>
 #include <string_view>
@@ -68,6 +69,20 @@ std::optional<bool> parse_env_flag(const char* raw) {
   return std::nullopt;
 }
 
+std::optional<std::uint64_t> parse_env_size_mb(const char* raw,
+                                               std::uint64_t min_mb,
+                                               std::uint64_t max_mb) {
+  // Clamp the caller's ceiling so the MB→bytes shift below cannot
+  // overflow even when max_mb is the default "anything".
+  const std::uint64_t cap_mb =
+      std::min<std::uint64_t>(max_mb, (~0ULL) >> 20);
+  const std::optional<std::uint64_t> mb = parse_env_u64(raw, min_mb, cap_mb);
+  if (!mb.has_value()) {
+    return std::nullopt;
+  }
+  return *mb << 20;
+}
+
 EnvValue<std::uint64_t> env_u64(const char* name, std::uint64_t min,
                                 std::uint64_t max) {
   const char* raw = std::getenv(name);
@@ -91,6 +106,21 @@ EnvValue<bool> env_flag(const char* name) {
   if (!parsed.has_value()) {
     count_rejection(name);
     return {EnvParseStatus::kRejected, false};
+  }
+  return {EnvParseStatus::kParsed, *parsed};
+}
+
+EnvValue<std::uint64_t> env_size_mb(const char* name, std::uint64_t min_mb,
+                                    std::uint64_t max_mb) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return {EnvParseStatus::kUnset, 0};
+  }
+  const std::optional<std::uint64_t> parsed =
+      parse_env_size_mb(raw, min_mb, max_mb);
+  if (!parsed.has_value()) {
+    count_rejection(name);
+    return {EnvParseStatus::kRejected, 0};
   }
   return {EnvParseStatus::kParsed, *parsed};
 }

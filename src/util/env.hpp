@@ -32,6 +32,16 @@ std::optional<std::uint64_t> parse_env_u64(const char* raw,
 /// nullptr/empty mean "unset". Anything else is malformed. Pure.
 std::optional<bool> parse_env_flag(const char* raw);
 
+/// Strict parse of a size-in-mebibytes knob (MGT_RENDER_CACHE_MB,
+/// MGT_TELEMETRY_BUF_MB): the digits-only grammar of parse_env_u64 with
+/// the MB→bytes conversion applied and overflow-checked, so every size
+/// knob shares one grammar and one failure mode. Returns BYTES.
+/// `min_mb`/`max_mb` bound the accepted value in MB; values whose byte
+/// count would overflow 64 bits are malformed. Pure.
+std::optional<std::uint64_t> parse_env_size_mb(
+    const char* raw, std::uint64_t min_mb = 1,
+    std::uint64_t max_mb = (~0ULL) >> 20);
+
 /// Outcome of an env_* read, distinguishing "knob absent" from "knob
 /// malformed" so call sites can count and report the latter.
 enum class EnvParseStatus { kUnset, kParsed, kRejected };
@@ -59,6 +69,10 @@ EnvValue<std::uint64_t> env_u64(const char* name, std::uint64_t min = 1,
 
 /// Reads and strictly parses an on/off knob from the environment.
 EnvValue<bool> env_flag(const char* name);
+
+/// Reads and strictly parses a size-in-MB knob; `value` is in BYTES.
+EnvValue<std::uint64_t> env_size_mb(const char* name, std::uint64_t min_mb = 1,
+                                    std::uint64_t max_mb = (~0ULL) >> 20);
 
 /// Records a rejection decided by a domain-specific parser (e.g. MGT_SIMD's
 /// backend-name parse in sig::parse_simd_backend) so every knob feeds the

@@ -539,6 +539,55 @@ TEST(Env, U64AcceptsOnlyWholeInRangeIntegers) {
   EXPECT_EQ(util::parse_env_u64("0", 0, 8), 0u);
 }
 
+TEST(Env, SizeMbSharesTheU64GrammarAndReturnsBytes) {
+  EXPECT_EQ(util::parse_env_size_mb("1"), 1ull << 20);
+  EXPECT_EQ(util::parse_env_size_mb("64"), 64ull << 20);
+  EXPECT_EQ(util::parse_env_size_mb("4096"), 4096ull << 20);
+
+  EXPECT_EQ(util::parse_env_size_mb(nullptr), std::nullopt);
+  EXPECT_EQ(util::parse_env_size_mb(""), std::nullopt);
+
+  // Same strict grammar as parse_env_u64: units, whitespace, fractions
+  // and signs are malformed, never partially parsed.
+  EXPECT_EQ(util::parse_env_size_mb("64MB"), std::nullopt);
+  EXPECT_EQ(util::parse_env_size_mb(" 64"), std::nullopt);
+  EXPECT_EQ(util::parse_env_size_mb("-4"), std::nullopt);
+  EXPECT_EQ(util::parse_env_size_mb("1.5"), std::nullopt);
+
+  // The MB→bytes conversion cannot overflow: 2^44-1 MB is the largest
+  // representable size; anything past it rejects instead of wrapping.
+  EXPECT_EQ(util::parse_env_size_mb("17592186044415"), (~0ULL) & ~0xFFFFFull);
+  EXPECT_EQ(util::parse_env_size_mb("17592186044416"), std::nullopt);
+  // Range bounds are expressed in MB, matching the knob's unit.
+  EXPECT_EQ(util::parse_env_size_mb("0"), std::nullopt);
+  EXPECT_EQ(util::parse_env_size_mb("9", 1, 8), std::nullopt);
+}
+
+TEST(Env, SizeMbReadsEnvironmentAndCountsRejections) {
+  util::reset_env_rejections_for_test();
+  setenv("MGT_TEST_SIZE_GOOD", "8", 1);
+  setenv("MGT_TEST_SIZE_BAD", "8MB", 1);
+
+  const util::EnvValue<std::uint64_t> good =
+      util::env_size_mb("MGT_TEST_SIZE_GOOD");
+  const util::EnvValue<std::uint64_t> bad =
+      util::env_size_mb("MGT_TEST_SIZE_BAD");
+  const util::EnvValue<std::uint64_t> unset =
+      util::env_size_mb("MGT_TEST_SIZE_UNSET");
+
+  EXPECT_TRUE(good.parsed());
+  EXPECT_EQ(good.value, 8ull << 20);
+  EXPECT_TRUE(bad.rejected());
+  EXPECT_EQ(bad.value_or(123), 123u) << "rejection keeps the caller's default";
+  EXPECT_EQ(unset.status, util::EnvParseStatus::kUnset);
+  EXPECT_EQ(util::env_rejections(), 1u);
+  EXPECT_EQ(util::env_rejected_names(), "MGT_TEST_SIZE_BAD");
+
+  unsetenv("MGT_TEST_SIZE_GOOD");
+  unsetenv("MGT_TEST_SIZE_BAD");
+  util::reset_env_rejections_for_test();
+}
+
 TEST(Env, FlagAcceptsOnlyCanonicalSpellings) {
   EXPECT_EQ(util::parse_env_flag("0"), false);
   EXPECT_EQ(util::parse_env_flag("off"), false);

@@ -317,7 +317,13 @@ private:
       check_catch(i);
     }
     if (next_is(i, "(") && is_must_use_call(t.text)) {
-      check_discarded_status(i);
+      check_discarded_status(i, rules::kUncheckedStatus,
+                             "check the returned status");
+    }
+    if (next_is(i, "(") && in_src(kind_) && is_decode_call(t.text)) {
+      check_discarded_status(i, rules::kUncheckedDecode,
+                             "a decode/parse result carries the only "
+                             "evidence the input was valid");
     }
     if (!class_stack_.empty() && t.text == class_stack_.back().name &&
         next_is(i, "(") && brace_depth_ == class_stack_.back().member_depth) {
@@ -332,11 +338,22 @@ private:
            name == "transfer" || name == "inject_with_retry";
   }
 
+  /// Decoders/parsers are total over arbitrary input only because they
+  /// *report* failure instead of trusting the bytes; dropping that report
+  /// turns hostile input into silent garbage. Applies to any call whose
+  /// name starts with decode/parse in src/ (telemetry::decode_payload,
+  /// util::parse_env_u64, sig::parse_simd_backend, ...).
+  static bool is_decode_call(std::string_view name) {
+    return name.size() >= 6 &&
+           (name.substr(0, 6) == "decode" || name.substr(0, 5) == "parse");
+  }
+
   /// A must-use call whose result is discarded as a bare statement:
   /// `sys.self_test();`. Consuming the result in any way — assignment,
   /// member access on the returned object, a surrounding expression,
   /// `return`, or an explicit `(void)` cast — is fine.
-  void check_discarded_status(std::size_t i) {
+  void check_discarded_status(std::size_t i, std::string_view rule,
+                              std::string_view why) {
     // The full-expression must end right after the call's closing paren.
     std::size_t j = i + 1;  // at '('
     int depth = 0;
@@ -374,10 +391,10 @@ private:
       // Mechanical fix: make the discard explicit. (Checking the status is
       // better, but that needs a human; (void) at least survives review.)
       FixIt fix{tok(head).offset, tok(head).offset, "(void)"};
-      report(i, rules::kUncheckedStatus,
-             "discarded result of '" + std::string(tok(i).text) +
-                 "()'; check the returned status (or cast to (void) / "
-                 "mgtlint:allow(no-unchecked-status))",
+      report(i, rule,
+             "discarded result of '" + std::string(tok(i).text) + "()'; " +
+                 std::string(why) + " (or cast to (void) / mgtlint:allow(" +
+                 std::string(rule) + "))",
              fix);
     }
   }
@@ -760,6 +777,10 @@ const std::vector<RuleInfo>& rule_catalog() {
       {rules::kUncheckedStatus,
        "status-bearing call result discarded as a bare statement", true,
        false},
+      {rules::kUncheckedDecode,
+       "decode*/parse* call result discarded in src/; the result is the "
+       "only evidence the input was valid",
+       true, false},
       {rules::kWallclockMetric,
        "wall-clock value feeds a deterministic obs metric sink", false,
        false},

@@ -82,6 +82,7 @@ inline constexpr std::string_view kExplicitCtor = "explicit-ctor";
 inline constexpr std::string_view kCatchIgnore = "no-catch-ignore";
 inline constexpr std::string_view kCatchByValue = "catch-by-reference";
 inline constexpr std::string_view kUncheckedStatus = "no-unchecked-status";
+inline constexpr std::string_view kUncheckedDecode = "no-unchecked-decode";
 inline constexpr std::string_view kWallclockMetric = "no-wallclock-metric";
 inline constexpr std::string_view kIntrinsics =
     "no-intrinsics-outside-kernels";

@@ -528,6 +528,63 @@ TEST(MgtlintContracts, UncheckedStatusVoidCastAndAllowlistedFine) {
                      "no-unchecked-status"));
 }
 
+TEST(MgtlintContracts, UncheckedDecodeBad) {
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f(const std::uint8_t* p, std::size_t n, Record& out) {
+      telemetry::decode_payload(PacketType::kWaveformChunk, p, n, out);
+    }
+  )",
+                    "no-unchecked-decode"));
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f(const char* raw) {
+      util::parse_env_u64(raw);
+    }
+  )",
+                    "no-unchecked-decode"));
+  EXPECT_TRUE(fires("src/a.cpp", R"(
+    void f(Frame& frame, const Bytes& b) {
+      frame.decoder.decode_frame(b);
+    }
+  )",
+                    "no-unchecked-decode"));
+}
+
+TEST(MgtlintContracts, UncheckedDecodeCheckedResultFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    bool f(const std::uint8_t* p, std::size_t n, Record& out) {
+      if (!telemetry::decode_payload(PacketType::kWaveformChunk, p, n, out)) {
+        return false;
+      }
+      const auto v = util::parse_env_u64(raw);
+      return parse_env_flag(raw).has_value();
+    }
+  )",
+                     "no-unchecked-decode"));
+}
+
+TEST(MgtlintContracts, UncheckedDecodeVoidCastAllowAndNonSrcFine) {
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f(const char* raw) {
+      (void)util::parse_env_u64(raw);
+    }
+  )",
+                     "no-unchecked-decode"));
+  EXPECT_FALSE(fires("src/a.cpp", R"(
+    void f(const char* raw) {
+      util::parse_env_u64(raw);  // mgtlint:allow(no-unchecked-decode)
+    }
+  )",
+                     "no-unchecked-decode"));
+  // Outside src/ the rule stays quiet: tests/benches legitimately call
+  // decoders for side effects on counters.
+  EXPECT_FALSE(fires("tests/t.cpp", R"(
+    void f(const char* raw) {
+      util::parse_env_u64(raw);
+    }
+  )",
+                     "no-unchecked-decode"));
+}
+
 // ------------------------------------------------------------------ lexer --
 
 TEST(MgtlintLexer, StringsCommentsAndIncludesAreSkipped) {
@@ -708,7 +765,7 @@ TEST(MgtlintUnboundedWait, AllowlistSuppresses) {
 
 TEST(MgtlintMisc, AllRulesListsEveryRuleOnce) {
   const auto& rules = mgtlint::all_rules();
-  EXPECT_EQ(rules.size(), 19u);
+  EXPECT_EQ(rules.size(), 20u);
   for (const auto rule : rules) {
     EXPECT_EQ(std::count(rules.begin(), rules.end(), rule), 1)
         << std::string(rule);
@@ -723,7 +780,7 @@ TEST(MgtlintMisc, CatalogMarksCrossTuAndFixableRules) {
     fixable += r.fixable ? 1 : 0;
   }
   EXPECT_EQ(cross_tu, 3);
-  EXPECT_EQ(fixable, 2);
+  EXPECT_EQ(fixable, 3);
 }
 
 TEST(MgtlintMisc, MissingFileReportsIoError) {
