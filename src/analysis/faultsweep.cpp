@@ -1,8 +1,41 @@
 #include "analysis/faultsweep.hpp"
 
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace mgt::ana {
+
+namespace {
+
+/// Groups cells by `key`, sorts each group by `axis`, and verifies the eye
+/// never climbs by more than `tol` along the axis.
+template <typename KeyFn, typename AxisFn>
+bool eye_nonincreasing_along(const std::vector<ScenarioCell>& cells,
+                             const KeyFn& key, const AxisFn& axis,
+                             UnitIntervals tol) {
+  MGT_CHECK(tol.ui() >= 0.0, "tolerance must be non-negative");
+  std::map<decltype(key(cells.front())),
+           std::vector<std::pair<double, UnitIntervals>>>
+      groups;
+  for (const ScenarioCell& cell : cells) {
+    groups[key(cell)].emplace_back(axis(cell), cell.eye);
+  }
+  for (auto& [unused, points] : groups) {
+    std::sort(points.begin(), points.end());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      if (points[i].second > points[i - 1].second + tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 std::vector<FaultSweepPoint> fault_sweep(const std::vector<double>& severities,
                                          const FaultRunner& run,
@@ -35,6 +68,32 @@ bool ber_monotonic_nondecreasing(const std::vector<FaultSweepPoint>& sweep,
     }
   }
   return true;
+}
+
+bool eye_nonincreasing_in_rate(const std::vector<ScenarioCell>& cells,
+                               UnitIntervals tol) {
+  if (cells.empty()) {
+    return true;
+  }
+  return eye_nonincreasing_along(
+      cells,
+      [](const ScenarioCell& c) {
+        return std::make_tuple(c.tree, c.timing_mode, c.severity);
+      },
+      [](const ScenarioCell& c) { return c.rate.gbps(); }, tol);
+}
+
+bool eye_nonincreasing_in_severity(const std::vector<ScenarioCell>& cells,
+                                   UnitIntervals tol) {
+  if (cells.empty()) {
+    return true;
+  }
+  return eye_nonincreasing_along(
+      cells,
+      [](const ScenarioCell& c) {
+        return std::make_tuple(c.rate.gbps(), c.tree, c.timing_mode);
+      },
+      [](const ScenarioCell& c) { return c.severity; }, tol);
 }
 
 std::vector<LinkSweepPoint> link_fault_sweep(

@@ -12,9 +12,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "analysis/ber.hpp"
+#include "util/units.hpp"
 
 namespace mgt::ana {
 
@@ -77,6 +79,29 @@ using LinkRunner = std::function<LinkSweepPoint(double severity)>;
 /// Sweeps `severities` through the link runner.
 std::vector<LinkSweepPoint> link_fault_sweep(
     const std::vector<double>& severities, const LinkRunner& run);
+
+/// One cell of a rate x mux-tree x timing-mode x fault-severity scenario
+/// matrix (the 10G+ extension shmoo). Cells may arrive in any order; the
+/// monotonicity checks below group them by the non-swept axes themselves.
+struct ScenarioCell {
+  GbitsPerSec rate{};       // data rate axis
+  std::string tree;         // mux-tree id, e.g. "minitester_16to1"
+  std::string timing_mode;  // "stepped" or "vernier"
+  double severity = 0.0;    // skew-stress severity in [0, 1]
+  UnitIntervals eye{};      // horizontal eye opening as a fraction of 1 UI
+};
+
+/// True when, for every (tree, timing-mode, severity) group, the eye
+/// opening in UI never *increases* as the data rate rises. The mux skew
+/// and jitter are fixed time quantities, so a faster rate can only consume
+/// a larger UI fraction; `tol` absorbs measurement granularity.
+bool eye_nonincreasing_in_rate(const std::vector<ScenarioCell>& cells,
+                               UnitIntervals tol = UnitIntervals{0.0});
+
+/// True when, for every (rate, tree, timing-mode) group, the eye opening
+/// never increases as the skew-stress severity grows.
+bool eye_nonincreasing_in_severity(const std::vector<ScenarioCell>& cells,
+                                   UnitIntervals tol = UnitIntervals{0.0});
 
 /// The ARQ acceptance property: at every nonzero-severity point the sweep's
 /// residual (post-ARQ) FER is strictly below the raw injected FER, and the

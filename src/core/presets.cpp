@@ -47,4 +47,12 @@ ChannelConfig minitester(GbitsPerSec rate) {
   return config;
 }
 
+pecl::ProgrammableDelay::Config strobe_delay(pecl::TimingMode mode) {
+  pecl::ProgrammableDelay::Config config;
+  config.mode = mode;
+  // Stepped defaults are the paper's part (10 ps x 1024 codes); vernier
+  // keeps its own sub-ps step/code range from VernierTimebase::Config.
+  return config;
+}
+
 }  // namespace mgt::core::presets

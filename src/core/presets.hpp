@@ -16,6 +16,7 @@
 #pragma once
 
 #include "core/test_system.hpp"
+#include "pecl/delayline.hpp"
 
 namespace mgt::core::presets {
 
@@ -26,5 +27,13 @@ ChannelConfig optical_testbed(GbitsPerSec rate = GbitsPerSec{2.5});
 /// Mini-tester stimulus channel (Section 4). Default 5.0 Gbps (the
 /// project's target); Figs 16/17 run it at 1.0 and 2.5 Gbps.
 ChannelConfig minitester(GbitsPerSec rate = GbitsPerSec{5.0});
+
+/// Strobe/edge-placement delay line for the requested timing mode: the
+/// paper's 10 ps stepped tap chain, or the sub-picosecond vernier
+/// interpolator covering the same ~10 ns range. The default follows the
+/// MGT_TIMING_MODE knob, so existing call sites pick up the mode without
+/// code changes.
+pecl::ProgrammableDelay::Config strobe_delay(
+    pecl::TimingMode mode = pecl::default_timing_mode());
 
 }  // namespace mgt::core::presets

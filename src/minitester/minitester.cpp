@@ -15,9 +15,10 @@ MiniTester::MiniTester(Config config, std::uint64_t seed)
       dut_(config.dut),
       strobe_delay_(config.strobe_delay, rng_.fork()),
       sampler_(config.sampler, rng_.fork()) {
-  // Default strobe: mid-UI (center of the ideal eye).
+  // Default strobe: mid-UI (center of the ideal eye). Code math comes
+  // from the instance's mode-aware step so vernier mode works unchanged.
   const double ui = config_.channel.rate.unit_interval().ps();
-  const double step = config_.strobe_delay.step.ps();
+  const double step = strobe_delay_.step().ps();
   strobe_delay_.set_code(static_cast<std::size_t>(ui / 2.0 / step));
   // The strobe delay line consumes the "strobe" slice of the channel's
   // fault plan (kDelayDrift walks the sampling point across the eye).
@@ -91,7 +92,7 @@ std::vector<ana::BathtubPoint> MiniTester::bathtub(std::size_t n_bits,
   MGT_CHECK(code_step >= 1);
   const std::size_t saved_code = strobe_delay_.code();
   const double ui = config_.channel.rate.unit_interval().ps();
-  const double step = config_.strobe_delay.step.ps();
+  const double step = strobe_delay_.step().ps();
   const auto max_code = static_cast<std::size_t>(std::ceil(ui / step));
 
   std::vector<ana::BathtubPoint> scan;
@@ -135,7 +136,7 @@ std::size_t MiniTester::center_strobe(std::size_t n_bits) {
     }
   }
   const std::size_t center_idx = best_start + best_len / 2;
-  const double step = config_.strobe_delay.step.ps();
+  const double step = strobe_delay_.step().ps();
   const auto code = static_cast<std::size_t>(
       scan[center_idx].strobe_offset.ps() / step);
   strobe_delay_.set_code(code);

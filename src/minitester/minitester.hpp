@@ -26,7 +26,9 @@ public:
   struct Config {
     core::ChannelConfig channel = core::presets::minitester();
     pecl::PeclSampler::Config sampler{};
-    pecl::ProgrammableDelay::Config strobe_delay{};
+    /// Follows the MGT_TIMING_MODE knob by default (stepped or vernier).
+    pecl::ProgrammableDelay::Config strobe_delay =
+        core::presets::strobe_delay();
     WlpDut::Config dut{};
     /// Bits skipped at the head of each capture (chain settling).
     std::size_t warmup_bits = 16;
@@ -38,7 +40,8 @@ public:
   [[nodiscard]] WlpDut& dut() { return dut_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
-  /// Programs the capture strobe delay (10 ps per code).
+  /// Programs the capture strobe delay (strobe_delay().step() per code:
+  /// 10 ps stepped, sub-ps in vernier mode).
   void set_strobe_code(std::size_t code);
   [[nodiscard]] std::size_t strobe_code() const { return strobe_delay_.code(); }
   [[nodiscard]] const pecl::ProgrammableDelay& strobe_delay() const {

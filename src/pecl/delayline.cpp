@@ -15,6 +15,11 @@ ProgrammableDelay::ProgrammableDelay(Config config, Rng rng)
                             config_.offset_error.ps());
   gain_ = 1.0 + rng_.uniform(-config_.gain_error, config_.gain_error);
 
+  if (config_.mode == TimingMode::kVernier) {
+    vernier_.emplace(config_.vernier, rng_.fork());
+    return;
+  }
+
   // INL: a slow bow (typical of tapped delay chains) plus small per-code
   // mismatch, both bounded by inl_bound.
   inl_ps_.resize(config_.code_count);
@@ -44,22 +49,36 @@ Picoseconds ProgrammableDelay::fault_drift(std::uint64_t tick) const {
                      kDriftFullScalePs};
 }
 
+Picoseconds ProgrammableDelay::step() const {
+  return vernier_ ? vernier_->step() : config_.step;
+}
+
+std::size_t ProgrammableDelay::code_count() const {
+  return vernier_ ? vernier_->code_count() : config_.code_count;
+}
+
 void ProgrammableDelay::set_code(std::size_t code) {
-  MGT_CHECK(code < config_.code_count, "delay code out of range");
+  MGT_CHECK(code < code_count(), "delay code out of range");
   code_ = code;
 }
 
 Picoseconds ProgrammableDelay::programmed_delay() const {
-  return Picoseconds{static_cast<double>(code_) * config_.step.ps()};
+  return Picoseconds{static_cast<double>(code_) * step().ps()};
 }
 
 Picoseconds ProgrammableDelay::actual_delay(std::size_t code) const {
+  if (vernier_) {
+    return vernier_->actual_delay(code);
+  }
   MGT_CHECK(code < config_.code_count, "delay code out of range");
   const double ideal = static_cast<double>(code) * config_.step.ps();
-  return Picoseconds{offset_ps_ + gain_ * ideal + inl_ps_[code]};
+  return Picoseconds{gain_ * ideal + inl_ps_[code]};
 }
 
 Picoseconds ProgrammableDelay::worst_case_error() const {
+  if (vernier_) {
+    return vernier_->worst_case_error();
+  }
   double worst = 0.0;
   for (std::size_t c = 0; c < config_.code_count; ++c) {
     const double ideal = static_cast<double>(c) * config_.step.ps();
@@ -70,7 +89,7 @@ Picoseconds ProgrammableDelay::worst_case_error() const {
 
 sig::EdgeStream ProgrammableDelay::apply(const sig::EdgeStream& input) {
   const double base =
-      config_.insertion_delay.ps() + actual_delay(code_).ps();
+      config_.insertion_delay.ps() + offset_ps_ + actual_delay(code_).ps();
   const bool drifting = faults_.any(fault::FaultKind::kDelayDrift);
   sig::EdgeStream out(input.initial_level());
   double last = -1e300;

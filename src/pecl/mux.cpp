@@ -8,11 +8,30 @@
 
 namespace mgt::pecl {
 
+namespace {
+/// Builder bounds: the widest PECL parts the model characterizes and a
+/// lane ceiling that keeps skew tables and bit math comfortably in range.
+constexpr std::size_t kMaxFanIn = 64;
+constexpr std::size_t kMaxStages = 6;
+constexpr std::size_t kMaxLanes = 4096;
+}  // namespace
+
 SerializerTree::SerializerTree(Config config, Rng rng)
     : config_(std::move(config)), rng_(rng) {
   MGT_CHECK(!config_.stages.empty(), "serializer needs at least one stage");
+  MGT_CHECK(config_.stages.size() <= kMaxStages,
+            "serializer tree too deep (max 6 stages)");
+  std::size_t lanes = 1;
   for (const auto& stage : config_.stages) {
     MGT_CHECK(stage.fan_in >= 2, "mux stage fan-in must be at least 2");
+    MGT_CHECK(stage.fan_in <= kMaxFanIn, "mux stage fan-in above part range");
+    MGT_CHECK(stage.skew_pp.ps() >= 0.0 && stage.rj_sigma.ps() >= 0.0 &&
+                  stage.prop_delay.ps() >= 0.0,
+              "mux stage parameters must be non-negative");
+    lanes *= stage.fan_in;
+    MGT_CHECK(lanes <= kMaxLanes, "serializer tree exceeds the lane ceiling");
+  }
+  for (const auto& stage : config_.stages) {
     std::vector<Picoseconds> stage_skews;
     stage_skews.reserve(stage.fan_in);
     for (std::size_t i = 0; i < stage.fan_in; ++i) {
@@ -78,7 +97,10 @@ void SerializerTree::set_faults(fault::ComponentFaults faults) {
 BitVector SerializerTree::faulted_bits(const BitVector& bits) const {
   const std::size_t lanes = total_lanes();
   BitVector out = bits;
-  bool previous = false;
+  // The NRZ stream's level before serial bit 0 is bit 0's own value
+  // (sig::EdgeStream::from_bits seeds its initial level from bits[0]), so
+  // a dropout hitting bit 0 holds that level rather than forcing 0.
+  bool previous = bits.empty() ? false : bits.get(0);
   for (std::size_t k = 0; k < out.size(); ++k) {
     const std::size_t lane = lane_for_bit(k);
     bool value = out.get(k);
@@ -162,6 +184,58 @@ SerializerTree::Config SerializerTree::minitester_16to1() {
                             .rj_sigma = Picoseconds{1.2},
                             .prop_delay = Picoseconds{220.0}}};
   config.clock_rj_sigma = Picoseconds{1.2};
+  return config;
+}
+
+MuxStage SerializerTree::stage_for_fan_in(std::size_t fan_in,
+                                          double skew_scale) {
+  MGT_CHECK(fan_in >= 2 && fan_in <= kMaxFanIn,
+            "mux part fan-in must be in [2, 64]");
+  MGT_CHECK(skew_scale >= 0.0, "skew scale must be non-negative");
+  // Linearized part family anchored on the 2005 data points: the 2:1 final
+  // stage (14 ps skew, 180 ps prop) and the 8:1 stages (22 ps, 220 ps).
+  // Wider parts pay more input routing skew and propagation delay; their
+  // per-stage RJ shrinks slightly because fewer cascaded retimers follow.
+  const double n = static_cast<double>(fan_in);
+  return MuxStage{
+      .fan_in = fan_in,
+      .skew_pp = Picoseconds{(10.0 + 1.5 * n) * skew_scale},
+      .rj_sigma = Picoseconds{1.0 + 1.0 / std::sqrt(n)},
+      .prop_delay = Picoseconds{150.0 + 10.0 * n},
+  };
+}
+
+SerializerTree::Config SerializerTree::from_fan_ins(
+    const std::vector<std::size_t>& fan_ins, double skew_scale) {
+  MGT_CHECK(!fan_ins.empty(), "serializer needs at least one stage");
+  MGT_CHECK(fan_ins.size() <= kMaxStages,
+            "serializer tree too deep (max 6 stages)");
+  Config config;
+  std::size_t lanes = 1;
+  for (const std::size_t fan_in : fan_ins) {
+    config.stages.push_back(stage_for_fan_in(fan_in, skew_scale));
+    lanes *= fan_in;
+    MGT_CHECK(lanes <= kMaxLanes, "serializer tree exceeds the lane ceiling");
+  }
+  config.clock_rj_sigma = Picoseconds{1.2};
+  return config;
+}
+
+SerializerTree::Config SerializerTree::serializer_16to1(double skew_scale) {
+  return from_fan_ins({16}, skew_scale);
+}
+
+SerializerTree::Config SerializerTree::extension_32lane(double skew_scale) {
+  Config config;
+  config.stages = {MuxStage{.fan_in = 4,
+                            .skew_pp = Picoseconds{12.0 * skew_scale},
+                            .rj_sigma = Picoseconds{1.4},
+                            .prop_delay = Picoseconds{160.0}},
+                   MuxStage{.fan_in = 8,
+                            .skew_pp = Picoseconds{22.0 * skew_scale},
+                            .rj_sigma = Picoseconds{1.2},
+                            .prop_delay = Picoseconds{220.0}}};
+  config.clock_rj_sigma = Picoseconds{1.0};
   return config;
 }
 

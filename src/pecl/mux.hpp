@@ -86,6 +86,31 @@ public:
   /// Two 8:1 stages + final 2:1 (mini-tester, Fig 15), reaching 5 Gbps.
   static Config minitester_16to1();
 
+  // -- Parameterized N:1 depth builders -----------------------------------
+  // The two presets above are hand-tuned to the 2005 parts; the builders
+  // extend the same part family to arbitrary validated stage lists so the
+  // 10G+ scenario matrix can sweep mux depth as an axis.
+
+  /// Part characterization for one fan-in in [2, 64], scaled from the 2005
+  /// family: wider muxes carry more input-to-input skew and propagation
+  /// delay, faster (narrower) final stages run tighter. `skew_scale`
+  /// stresses the deterministic skew (1.0 = nominal part).
+  static MuxStage stage_for_fan_in(std::size_t fan_in, double skew_scale = 1.0);
+
+  /// Validated tree from an output-first fan-in list (e.g. {4, 8} is a
+  /// final 4:1 fed by 8:1 stages -> 32 lanes). Each fan-in must be in
+  /// [2, 64], at most 6 stages, total lanes at most 4096.
+  static Config from_fan_ins(const std::vector<std::size_t>& fan_ins,
+                             double skew_scale = 1.0);
+
+  /// Single-stage 16:1 serializer (arXiv 2401.15755, 5 Gbps class).
+  static Config serializer_16to1(double skew_scale = 1.0);
+
+  /// 4:1 + 8:1, 32 DLC lanes: the Section-1 extension tree reaching
+  /// 10 Gbps at 312.5 Mbps/lane. Values match the original extension
+  /// study so historical bench rows stay comparable.
+  static Config extension_32lane(double skew_scale = 1.0);
+
 private:
   /// Applies scheduled mux faults to the serial sequence: stuck lanes pin
   /// their bits, dropped-out lanes hold the previous serial value.

@@ -85,7 +85,7 @@ CalibrationReport calibrate_transmitter(OpticalTransmitter& tx,
   CalibrationReport report;
   report.initial_skew = measure_channel_skew(tx, averaging_slots);
 
-  const double step = tx.channel_delay(0).config().step.ps();
+  const double step = tx.channel_delay(0).step().ps();
   std::array<std::size_t, kHighSpeedChannels> codes{};
   for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
     codes[ch] = tx.channel_delay(ch).code();
@@ -225,7 +225,7 @@ CalibrationOutcome calibrate_with_recovery(OpticalTransmitter& tx,
       return outcome;
     }
 
-    const double step = tx.channel_delay(0).config().step.ps();
+    const double step = tx.channel_delay(0).step().ps();
     std::array<std::size_t, kHighSpeedChannels> codes{};
     for (std::size_t ch = 0; ch < kHighSpeedChannels; ++ch) {
       codes[ch] = tx.channel_delay(ch).code();

@@ -138,6 +138,22 @@ TEST(DelayLine, ProgrammedVsActualWithinAccuracy) {
   }
 }
 
+TEST(DelayLine, CodeZeroIsCalibrationReference) {
+  // actual_delay is documented relative to code 0: exactly zero there, with
+  // the part's fixed insertion-delay error reported separately.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ProgrammableDelay stepped(ProgrammableDelay::Config{}, Rng(seed));
+    EXPECT_EQ(stepped.actual_delay(0).ps(), 0.0) << "part " << seed;
+    EXPECT_LE(std::abs(stepped.insertion_offset().ps()),
+              stepped.config().offset_error.ps());
+
+    ProgrammableDelay::Config vconfig;
+    vconfig.mode = TimingMode::kVernier;
+    ProgrammableDelay vernier(vconfig, Rng(seed));
+    EXPECT_EQ(vernier.actual_delay(0).ps(), 0.0) << "part " << seed;
+  }
+}
+
 TEST(DelayLine, TenPicosecondResolutionRealized) {
   ProgrammableDelay delay(ProgrammableDelay::Config{}, Rng(7));
   std::vector<double> codes;
@@ -174,7 +190,8 @@ TEST(DelayLine, ApplyShiftsEdges) {
   const double shift =
       out.transitions()[0].time.ps() - in.transitions()[0].time.ps();
   EXPECT_NEAR(shift,
-              config.insertion_delay.ps() + delay.actual_delay(100).ps(),
+              config.insertion_delay.ps() + delay.insertion_offset().ps() +
+                  delay.actual_delay(100).ps(),
               1e-9);
   // Same shift on every edge (deterministic part).
   for (std::size_t i = 0; i < in.size(); ++i) {
@@ -259,6 +276,132 @@ TEST(SerializerTree, InvalidConfigThrows) {
   SerializerTree::Config bad;
   bad.stages = {MuxStage{.fan_in = 1}};
   EXPECT_THROW(SerializerTree(bad, Rng(23)), Error);
+}
+
+TEST(SerializerTree, BuildersValidateStageLists) {
+  EXPECT_THROW(SerializerTree::from_fan_ins({}), Error);
+  EXPECT_THROW(SerializerTree::from_fan_ins({1}), Error);        // too narrow
+  EXPECT_THROW(SerializerTree::from_fan_ins({65}), Error);       // too wide
+  EXPECT_THROW(SerializerTree::from_fan_ins({2, 2, 2, 2, 2, 2, 2}),
+               Error);                                           // too deep
+  EXPECT_THROW(SerializerTree::from_fan_ins({64, 64, 2}), Error);  // lanes
+  EXPECT_THROW(SerializerTree::stage_for_fan_in(4, -1.0), Error);
+  EXPECT_NO_THROW(SerializerTree::from_fan_ins({64, 64}));  // exactly 4096
+}
+
+TEST(SerializerTree, BuilderMatchesPresetFamily) {
+  // The parameterized part family reproduces the known presets' shape:
+  // the 32-lane extension tree and a single-stage 16:1.
+  const auto ext = SerializerTree::extension_32lane();
+  ASSERT_EQ(ext.stages.size(), 2u);
+  EXPECT_EQ(ext.stages[0].fan_in, 4u);
+  EXPECT_EQ(ext.stages[1].fan_in, 8u);
+  SerializerTree ext_tree(ext, Rng(24));
+  EXPECT_EQ(ext_tree.total_lanes(), 32u);
+
+  const auto flat = SerializerTree::serializer_16to1();
+  ASSERT_EQ(flat.stages.size(), 1u);
+  EXPECT_EQ(flat.stages[0].fan_in, 16u);
+
+  // skew_scale stresses only the deterministic skew, linearly.
+  const auto nominal = SerializerTree::stage_for_fan_in(8);
+  const auto stressed = SerializerTree::stage_for_fan_in(8, 2.0);
+  EXPECT_DOUBLE_EQ(stressed.skew_pp.ps(), 2.0 * nominal.skew_pp.ps());
+  EXPECT_DOUBLE_EQ(stressed.rj_sigma.ps(), nominal.rj_sigma.ps());
+  EXPECT_DOUBLE_EQ(stressed.prop_delay.ps(), nominal.prop_delay.ps());
+}
+
+TEST(SerializerTree, MixedRadixLaneAndSkewConsistency) {
+  // Non-uniform trees: a 4:1 + 8:1 and a three-stage 2:1 + 4:1 + 8:1.
+  for (const auto& fan_ins :
+       {std::vector<std::size_t>{4, 8}, std::vector<std::size_t>{2, 4, 8}}) {
+    SerializerTree tree(SerializerTree::from_fan_ins(fan_ins), Rng(40));
+    const std::size_t lanes = tree.total_lanes();
+    const std::size_t final_fan = fan_ins.front();
+    for (std::size_t k = 0; k < 3 * lanes; ++k) {
+      // The lane map is the serial index modulo the lane count, and skew is
+      // a pure function of the lane.
+      EXPECT_EQ(tree.lane_for_bit(k), k % lanes);
+      EXPECT_DOUBLE_EQ(tree.skew_for_bit(k).ps(),
+                       tree.skew_for_bit(k % lanes).ps());
+    }
+    // Mixed-radix decomposition: skews of the stages add independently, so
+    // skew(a + F*b) == skew(a) + skew(F*b) - skew(0) with F the final
+    // stage's fan-in (input a on the final stage, b on the inner tree).
+    for (std::size_t a = 0; a < final_fan; ++a) {
+      for (std::size_t b = 0; b < lanes / final_fan; ++b) {
+        EXPECT_NEAR(tree.skew_for_bit(a + final_fan * b).ps(),
+                    tree.skew_for_bit(a).ps() +
+                        tree.skew_for_bit(final_fan * b).ps() -
+                        tree.skew_for_bit(0).ps(),
+                    1e-12);
+      }
+    }
+  }
+}
+
+TEST(SerializerTree, MixedRadixSerializeDistributeRoundTrip) {
+  for (const auto& fan_ins :
+       {std::vector<std::size_t>{4, 8}, std::vector<std::size_t>{2, 4, 8}}) {
+    SerializerTree tree(SerializerTree::from_fan_ins(fan_ins), Rng(41));
+    const std::size_t lanes = tree.total_lanes();
+    Rng rng(42);
+    const auto serial = BitVector::random(lanes * 24, rng);
+
+    const auto per_lane = tree.distribute(serial);
+    ASSERT_EQ(per_lane.size(), lanes);
+    EXPECT_EQ(BitVector::interleave(per_lane), serial);
+
+    const auto edges = tree.serialize(serial, GbitsPerSec{2.5});
+    EXPECT_TRUE(edges.well_formed());
+    EXPECT_EQ(edges.to_bits(serial.size(), Picoseconds{400.0},
+                            tree.total_prop_delay()),
+              serial);
+  }
+}
+
+TEST(SerializerTree, DropoutOnBitZeroHoldsInitialLevel) {
+  // Regression: a dropout active from serial bit 0 must hold the stream's
+  // initial level (EdgeStream::from_bits seeds it from bit 0's own value),
+  // not force a hard zero.
+  SerializerTree::Config config;
+  config.stages = {MuxStage{.fan_in = 2,
+                            .skew_pp = Picoseconds{0.0},
+                            .rj_sigma = Picoseconds{0.0},
+                            .prop_delay = Picoseconds{0.0}}};
+  config.clock_rj_sigma = Picoseconds{0.0};
+
+  fault::FaultPlan plan(7);
+  plan.schedule({.kind = fault::FaultKind::kMuxDropout,
+                 .component = "serializer",
+                 .index = 0,
+                 .start = 0});
+
+  // All-ones data, lane 0 dropped out from bit 0: every held value is 1,
+  // so the stream must come back unchanged (pre-fix, bit 0 flipped to 0).
+  SerializerTree tree(config, Rng(43));
+  tree.set_faults(plan.component("serializer"));
+  const auto ones = BitVector::from_string("11111111");
+  const auto edges = tree.serialize(ones, GbitsPerSec{2.5});
+  EXPECT_EQ(edges.to_bits(ones.size(), Picoseconds{400.0},
+                          tree.total_prop_delay()),
+            ones);
+
+  // Full-bus dropout on alternating data starting with 1: every bit holds
+  // the value before it, which collapses the stream to the initial level.
+  fault::FaultPlan all_plan(8);
+  all_plan.schedule({.kind = fault::FaultKind::kMuxDropout,
+                     .component = "serializer",
+                     .index = fault::FaultSpec::kAllIndices,
+                     .severity = 1.0,
+                     .start = 0});
+  SerializerTree held(config, Rng(44));
+  held.set_faults(all_plan.component("serializer"));
+  const auto alternating = BitVector::from_string("10101010");
+  const auto held_edges = held.serialize(alternating, GbitsPerSec{2.5});
+  EXPECT_EQ(held_edges.to_bits(alternating.size(), Picoseconds{400.0},
+                               held.total_prop_delay()),
+            BitVector::from_string("11111111"));
 }
 
 // ---------------------------------------------------------------- buffer --
